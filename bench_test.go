@@ -1,0 +1,388 @@
+package paws
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §4), plus ablations of the design choices DESIGN.md
+// §5 calls out. Benchmarks run on ScaleSmall parks so a full -bench=. sweep
+// stays tractable; cmd/pawstables and cmd/pawsfigs run the full presets.
+// Each benchmark reports the headline metric via b.ReportMetric so the
+// regenerated numbers are visible in benchmark output.
+
+import (
+	"fmt"
+	"testing"
+
+	"paws/internal/dataset"
+	"paws/internal/plan"
+	"paws/internal/stats"
+)
+
+// benchScenario caches scenarios across benchmark iterations.
+var benchScenarios = map[string]*Scenario{}
+
+func benchScenario(b *testing.B, name string) *Scenario {
+	b.Helper()
+	if sc, ok := benchScenarios[name]; ok {
+		return sc
+	}
+	sc, err := ScenarioAt(name, ScaleSmall, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchScenarios[name] = sc
+	return sc
+}
+
+func benchLastYear(sc *Scenario) int {
+	return sc.Data.Steps[len(sc.Data.Steps)-1].Year
+}
+
+// BenchmarkTable1DatasetStats regenerates Table I: dataset statistics for
+// the three parks (small-scale presets).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"MFNP", "QENP", "SWS"} {
+			sc := benchScenario(b, name)
+			s := sc.Data.TableIStats(name)
+			if s.NumPoints == 0 {
+				b.Fatal("empty dataset")
+			}
+			if i == 0 {
+				b.Logf("%s: %d cells, %d pts, %.2f%% pos, %.2f km/cell",
+					name, s.NumCells, s.NumPoints, s.PctPositive, s.AvgEffortKM)
+			}
+		}
+	}
+}
+
+// benchTable2 runs one Table II cell (park × model kind) and reports AUC.
+func benchTable2(b *testing.B, park string, kind ModelKind) {
+	sc := benchScenario(b, park)
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable2ForScenario(sc, park, Table2Options{
+			Kinds:      []ModelKind{kind},
+			TestYears:  []int{benchLastYear(sc)},
+			Thresholds: 5,
+			Members:    5,
+			GPMaxTrain: 80,
+			Balanced:   park == "SWS",
+			Seed:       int64(11 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = rows[0].AUC
+	}
+	b.ReportMetric(auc, "AUC")
+}
+
+// BenchmarkTable2 regenerates Table II, one sub-benchmark per (park, model).
+func BenchmarkTable2(b *testing.B) {
+	for _, park := range []string{"MFNP", "QENP", "SWS"} {
+		for _, kind := range []ModelKind{SVB, DTB, GPB, SVBiW, DTBiW, GPBiW} {
+			b.Run(fmt.Sprintf("%s/%v", park, kind), func(b *testing.B) {
+				benchTable2(b, park, kind)
+			})
+		}
+	}
+}
+
+// BenchmarkTable3FieldTests regenerates Table III / Fig 10: two field-test
+// trials per park with hidden risk groups and chi-squared analysis.
+func BenchmarkTable3FieldTests(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	var pHigh, pLow float64
+	for i := 0; i < b.N; i++ {
+		trials, err := RunTable3ForScenario(sc, "MFNP", 2, []int{2, 3}, Table3Options{
+			PerGroup: 4,
+			Train:    TrainOptions{Kind: DTBiW, Thresholds: 5, Members: 5, Seed: int64(13 + i)},
+			Seed:     int64(17 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := trials[0].Result.Groups
+		pHigh, pLow = g[0].ObsPerCell, g[2].ObsPerCell
+	}
+	b.ReportMetric(pHigh, "high-obs/cell")
+	b.ReportMetric(pLow, "low-obs/cell")
+}
+
+// BenchmarkFig4PositiveRate regenerates Fig 4: positive-label percentage as
+// a function of the patrol-effort percentile threshold.
+func BenchmarkFig4PositiveRate(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	var sl float64
+	for i := 0; i < b.N; i++ {
+		s, err := RunFig4(sc, "MFNP", benchLastYear(sc), 3, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sl = s.TrainRates[5] - s.TrainRates[0]
+	}
+	b.ReportMetric(sl, "rate-rise-pct")
+}
+
+// BenchmarkFig6RiskMaps regenerates Fig 6: GPB-iW risk and uncertainty maps
+// at four effort levels plus historical context maps.
+func BenchmarkFig6RiskMaps(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	for i := 0; i < b.N; i++ {
+		maps, err := RunFig6(sc, GPBiW, benchLastYear(sc), 3, TrainOptions{
+			Thresholds: 5, Members: 4, GPMaxTrain: 60, Seed: int64(19 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(maps.Risk) != 4 {
+			b.Fatal("wrong number of effort levels")
+		}
+	}
+}
+
+// BenchmarkFig7UncertaintyCorrelation regenerates Fig 7: Pearson correlation
+// of prediction with uncertainty for GP vs bagged decision trees.
+func BenchmarkFig7UncertaintyCorrelation(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	var gpr, dtr float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig7(sc, benchLastYear(sc), 3, TrainOptions{
+			Members: 4, GPMaxTrain: 60, Seed: int64(23 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpr, dtr = res.GPCorrelation, res.DTCorrelation
+	}
+	b.ReportMetric(gpr, "GP-r")
+	b.ReportMetric(dtr, "DT-r")
+}
+
+// benchPlanStudy builds (and caches) a plan study for the planning figures.
+var cachedPlanStudy *PlanStudy
+
+func benchPlanStudy(b *testing.B) *PlanStudy {
+	b.Helper()
+	if cachedPlanStudy != nil {
+		return cachedPlanStudy
+	}
+	sc := benchScenario(b, "MFNP")
+	ps, err := NewPlanStudy(sc, PlanStudyOptions{
+		Posts:         2,
+		Radius:        5,
+		MaxCells:      48,
+		T:             10,
+		K:             2,
+		Segments:      6,
+		Betas:         []float64{0.8, 1.0},
+		SegmentCounts: []int{4, 8},
+		TestYear:      benchLastYear(sc),
+		Solver:        plan.SolverFrankWolfe,
+		Train:         TrainOptions{Thresholds: 5, Members: 4, GPMaxTrain: 60, Seed: 29},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cachedPlanStudy = ps
+	return ps
+}
+
+// BenchmarkFig8RobustGain regenerates Fig 8(a–c): the solution-quality ratio
+// Uβ(Cβ)/Uβ(C0) across β, averaged over patrol posts.
+func BenchmarkFig8RobustGain(b *testing.B) {
+	ps := benchPlanStudy(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		pts, err := ps.RunFig8Beta()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = pts[len(pts)-1].Avg
+	}
+	b.ReportMetric(avg, "ratio@beta=1")
+}
+
+// BenchmarkFig8SegmentRatio regenerates Fig 8(d–f): the ratio as a function
+// of PWL segment count at β=1.
+func BenchmarkFig8SegmentRatio(b *testing.B) {
+	ps := benchPlanStudy(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		pts, err := ps.RunFig8Segments()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = pts[len(pts)-1].Avg
+	}
+	b.ReportMetric(avg, "ratio@maxseg")
+}
+
+// BenchmarkFig9PlannerRuntime regenerates Fig 9: planner runtime and robust
+// utility as the PWL segment count grows.
+func BenchmarkFig9PlannerRuntime(b *testing.B) {
+	ps := benchPlanStudy(b)
+	var util float64
+	for i := 0; i < b.N; i++ {
+		pts, err := ps.RunFig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = pts[len(pts)-1].Utility
+	}
+	b.ReportMetric(util, "utility@maxseg")
+}
+
+// BenchmarkDetectionGain regenerates the headline "30% more snares" claim:
+// robust vs uncertainty-blind plans simulated against the true process.
+func BenchmarkDetectionGain(b *testing.B) {
+	ps := benchPlanStudy(b)
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		gain, err := ps.RunDetectionGain(24, int64(31+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = gain.Factor
+	}
+	b.ReportMetric(factor, "robust/blind")
+}
+
+// --------------------------------------------------------------- Ablations
+
+// BenchmarkAblationThresholds compares percentile-spaced iWare-E thresholds
+// (the paper's enhancement) against fixed-kilometre spacing.
+func BenchmarkAblationThresholds(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var aucPct, aucFixed float64
+	for i := 0; i < b.N; i++ {
+		// Percentile ladder (library default).
+		m1, err := Train(split.Train, TrainOptions{
+			Kind: DTBiW, Thresholds: 5, Members: 5, Seed: int64(37 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucPct = m1.AUC(split.Test)
+		// Fixed-km ladder, emulating the original iWare-E grid.
+		m2, err := TrainWithThresholds(split.Train, []float64{0, 1.5, 3, 4.5, 6}, TrainOptions{
+			Kind: DTBiW, Members: 5, Seed: int64(37 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucFixed = m2.AUC(split.Test)
+	}
+	b.ReportMetric(aucPct, "AUC-percentile")
+	b.ReportMetric(aucFixed, "AUC-fixed-km")
+}
+
+// BenchmarkAblationWeights compares CV-optimized iWare-E classifier weights
+// (the paper's enhancement) against uniform qualified weights.
+func BenchmarkAblationWeights(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var aucOpt, aucUni float64
+	for i := 0; i < b.N; i++ {
+		mo, err := Train(split.Train, TrainOptions{
+			Kind: DTBiW, Thresholds: 5, Members: 5, CVFolds: 3, Seed: int64(41 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucOpt = mo.AUC(split.Test)
+		mu, err := Train(split.Train, TrainOptions{
+			Kind: DTBiW, Thresholds: 5, Members: 5, Seed: int64(41 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucUni = mu.AUC(split.Test)
+	}
+	b.ReportMetric(aucOpt, "AUC-optimized")
+	b.ReportMetric(aucUni, "AUC-uniform")
+}
+
+// BenchmarkAblationBalancedBagging compares balanced vs plain bagging on the
+// most imbalanced park (SWS), the Section V-A enhancement.
+func BenchmarkAblationBalancedBagging(b *testing.B) {
+	sc := benchScenario(b, "SWS")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var aucBal, aucPlain float64
+	for i := 0; i < b.N; i++ {
+		mb, err := Train(split.Train, TrainOptions{
+			Kind: DTB, Members: 6, Balanced: true, Seed: int64(43 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucBal = mb.AUC(split.Test)
+		mp, err := Train(split.Train, TrainOptions{
+			Kind: DTB, Members: 6, Seed: int64(43 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aucPlain = mp.AUC(split.Test)
+	}
+	b.ReportMetric(aucBal, "AUC-balanced")
+	b.ReportMetric(aucPlain, "AUC-plain")
+}
+
+// BenchmarkSubstrateGP measures a single GP classifier fit+predict cycle —
+// the dominant training cost of GPB-iW.
+func BenchmarkSubstrateGP(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		m, err := Train(split.Train, TrainOptions{Kind: GPB, Members: 1, GPMaxTrain: 100, Seed: int64(47 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = m.AUC(split.Test)
+	}
+	b.ReportMetric(auc, "AUC")
+}
+
+// BenchmarkSubstrateEffortRebuild measures the waypoint→effort trajectory
+// rasterization, the hot loop of dataset construction.
+func BenchmarkSubstrateEffortRebuild(b *testing.B) {
+	sc := benchScenario(b, "QENP")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := dataset.Build(sc.History, dataset.StandardConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Steps) == 0 {
+			b.Fatal("no steps")
+		}
+	}
+}
+
+// BenchmarkChiSquared measures the field-test significance test.
+func BenchmarkChiSquared(b *testing.B) {
+	table := [][]float64{{14, 28}, {5, 35}, {0, 36}}
+	var p float64
+	for i := 0; i < b.N; i++ {
+		res, err := stats.ChiSquaredTest(table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = res.PValue
+	}
+	b.ReportMetric(p, "p-value")
+}

@@ -1,0 +1,97 @@
+// Command pawsgen generates a synthetic park with its simulated SMART-style
+// patrol history and exports the processed dataset:
+//
+//	pawsgen -park SWS -out ./out          # points.csv, effort.csv, maps
+//	pawsgen -park MFNP -raster effort     # ASCII patrol-effort map (Fig 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paws"
+)
+
+func main() {
+	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
+	scaleStr := flag.String("scale", "small", "park scale: full or small")
+	seed := flag.Int64("seed", 7, "root random seed")
+	out := flag.String("out", "", "output directory for CSV export (empty = stdout summary only)")
+	raster := flag.String("raster", "", "print an ASCII raster: effort, activity or elevation")
+	flag.Parse()
+
+	scale, err := paws.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := paws.ScenarioAt(*park, scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	stats := sc.Data.TableIStats(*park)
+	fmt.Printf("park %s: %d cells, %d features, %d points, %d positives (%.2f%%), avg effort %.2f km/cell\n",
+		*park, stats.NumCells, stats.NumFeatures, stats.NumPoints,
+		stats.NumPositive, stats.PctPositive, stats.AvgEffortKM)
+	fmt.Printf("history: %d months, %d waypoints, %d observations, %d patrol posts\n",
+		sc.History.Months, len(sc.History.Waypoints), len(sc.History.Observations), len(sc.Park.Posts))
+
+	if *raster != "" {
+		n := sc.Park.Grid.NumCells()
+		values := make([]float64, n)
+		switch *raster {
+		case "effort":
+			values = sc.History.TotalEffort(0, sc.History.Months)
+		case "activity":
+			for t := range sc.Data.Steps {
+				for cell := 0; cell < n; cell++ {
+					if sc.Data.Label[t][cell] {
+						values[cell]++
+					}
+				}
+			}
+		case "elevation":
+			copy(values, sc.Park.Elevation.V)
+		default:
+			fatal(fmt.Errorf("unknown raster %q", *raster))
+		}
+		fmt.Println(paws.RasterASCII(sc.Park, values))
+	}
+
+	if *out == "" {
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	pointsPath := filepath.Join(*out, "points.csv")
+	f, err := os.Create(pointsPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sc.Data.WritePointsCSV(f, sc.Data.AllPoints()); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	effortPath := filepath.Join(*out, "effort.csv")
+	f2, err := os.Create(effortPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sc.Data.WriteRasterCSV(f2, sc.History.TotalEffort(0, sc.History.Months)); err != nil {
+		fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", pointsPath, effortPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pawsgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command pawstables regenerates the tables of the paper:
+//
+//	pawstables -table 1                  # Table I dataset statistics
+//	pawstables -table 2 -scale small     # Table II AUC sweep
+//	pawstables -table 3                  # Table III field-test results
+//
+// Scale "full" uses the Table I-calibrated parks (slow but faithful);
+// "small" uses reduced parks that preserve the qualitative structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"paws"
+	"paws/internal/dataset"
+)
+
+func main() {
+	table := flag.Int("table", 1, "table to regenerate: 1, 2 or 3")
+	scaleStr := flag.String("scale", "small", "park scale: full or small")
+	seed := flag.Int64("seed", 7, "root random seed")
+	cvFolds := flag.Int("cv", 0, "iWare-E weight-optimization folds (0 = uniform weights)")
+	flag.Parse()
+
+	scale, err := paws.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	switch *table {
+	case 1:
+		err = table1(*seed)
+	case 2:
+		err = table2(scale, *seed, *cvFolds)
+	case 3:
+		err = table3(scale, *seed)
+	default:
+		err = fmt.Errorf("unknown table %d", *table)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pawstables:", err)
+	os.Exit(1)
+}
+
+func table1(seed int64) error {
+	rows, err := paws.RunTable1(seed)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TABLE I: About the datasets")
+	fmt.Fprintln(w, "dataset\tfeatures\tcells\tpoints(6y)\tpositives\tpct positive\tavg effort (km/cell)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f%%\t%.2f\n",
+			r.Name, r.NumFeatures, r.NumCells, r.NumPoints, r.NumPositive, r.PctPositive, r.AvgEffortKM)
+	}
+	return w.Flush()
+}
+
+func table2(scale paws.Scale, seed int64, cvFolds int) error {
+	parks := []struct {
+		name string
+		dry  bool
+	}{
+		{"MFNP", false},
+		{"QENP", false},
+		{"SWS", false},
+		{"SWS", true},
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TABLE II: AUC of each model across all datasets")
+	fmt.Fprintln(w, "dataset\tyear\tSVB\tDTB\tGPB\tSVB-iW\tDTB-iW\tGPB-iW")
+	var all []paws.Table2Row
+	for _, pk := range parks {
+		sc, err := paws.ScenarioAt(pk.name, scale, seed)
+		if err != nil {
+			return err
+		}
+		label := pk.name
+		if pk.dry {
+			label += " dry"
+		}
+		base := paws.TrainOptionsAt(pk.name, paws.SVB, scale, seed)
+		rows, err := paws.RunTable2ForScenario(sc, label, paws.Table2Options{
+			Dry:        pk.dry,
+			Thresholds: base.Thresholds,
+			Members:    base.Members,
+			GPMaxTrain: base.GPMaxTrain,
+			Balanced:   base.Balanced,
+			CVFolds:    cvFolds,
+			Seed:       seed,
+		})
+		if err != nil {
+			return err
+		}
+		all = append(all, rows...)
+		// Pivot rows per year.
+		byYear := map[int]map[paws.ModelKind]float64{}
+		for _, r := range rows {
+			if byYear[r.TestYear] == nil {
+				byYear[r.TestYear] = map[paws.ModelKind]float64{}
+			}
+			byYear[r.TestYear][r.Kind] = r.AUC
+		}
+		for y := dataset.BaseYear; y < dataset.BaseYear+10; y++ {
+			m, ok := byYear[y]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				label, y, m[paws.SVB], m[paws.DTB], m[paws.GPB],
+				m[paws.SVBiW], m[paws.DTBiW], m[paws.GPBiW])
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	sum := paws.SummarizeTable2(all)
+	fmt.Printf("\nmean AUC without iWare-E: %.3f  with: %.3f  lift: %+.3f (paper: +0.100 avg)\n",
+		sum.MeanAUCWithout, sum.MeanAUCWith, sum.Lift)
+	return nil
+}
+
+func table3(scale paws.Scale, seed int64) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TABLE III: Field test results")
+	fmt.Fprintln(w, "trial\trisk group\t# Obs\t# Cells\tEffort\t# Obs / # Cells")
+	type trial struct {
+		park      string
+		blockSize int
+		months    []int
+	}
+	for _, tr := range []trial{
+		{"MFNP", 2, []int{2, 3}},
+		{"SWS", 3, []int{2, 2}},
+	} {
+		sc, err := paws.ScenarioAt(tr.park, scale, seed)
+		if err != nil {
+			return err
+		}
+		kind := paws.DTBiW
+		effort := 2.5
+		if tr.park == "SWS" {
+			kind = paws.GPBiW
+			// The SWS trials concentrated 72 rangers on 15 blocks — a much
+			// higher per-cell intensity than routine patrolling.
+			effort = 5
+		}
+		perGroup := 5
+		if scale == paws.ScaleSmall {
+			perGroup = 3 // small parks tile into few complete blocks per band
+		}
+		trials, err := paws.RunTable3ForScenario(sc, tr.park, tr.blockSize, tr.months, paws.Table3Options{
+			PerGroup:           perGroup,
+			EffortPerCellMonth: effort,
+			Train:              paws.TrainOptionsAt(tr.park, kind, scale, seed),
+			Seed:               seed,
+		})
+		if err != nil {
+			return err
+		}
+		for _, trl := range trials {
+			for _, g := range trl.Result.Groups {
+				fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%.1f\t%.2f\n",
+					trl.Name, g.Group, g.Observations, g.CellsVisited, g.EffortKM, g.ObsPerCell)
+			}
+			fmt.Fprintf(w, "%s\tchi-squared p = %.4f\t\t\t\t\n", trl.Name, trl.Result.ChiSq.PValue)
+		}
+	}
+	return w.Flush()
+}

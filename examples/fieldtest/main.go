@@ -1,0 +1,54 @@
+// Fieldtest: reproduce the Section VII field-test protocol: train an
+// iWare-E model on historical data, select km-scale blocks in high/medium/
+// low predicted-risk bands among sparsely patrolled areas, simulate ranger
+// patrols with the risk groups hidden, and report the Table III statistics
+// with a chi-squared significance test.
+//
+// The example uses the reduced MFNP park (2×2 km blocks, as in the paper's
+// MFNP trials). The SWS trials need the full-scale park to have statistical
+// power — run `go run ./cmd/pawstables -table 3 -scale full` for those.
+//
+//	go run ./examples/fieldtest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paws"
+)
+
+func main() {
+	sc, err := paws.ScenarioAt("MFNP", paws.ScaleSmall, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trials, err := paws.RunTable3ForScenario(sc, "MFNP-small", 2, []int{2, 3}, paws.Table3Options{
+		PerGroup: 3, // the small park tiles into few complete blocks per band
+		Train:    paws.TrainOptionsAt("MFNP", paws.DTBiW, paws.ScaleSmall, 13),
+		Seed:     17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	significant := 0
+	for _, tr := range trials {
+		fmt.Printf("%s (risk groups hidden from rangers)\n", tr.Name)
+		fmt.Printf("  %-8s %6s %8s %9s %12s\n", "group", "# Obs", "# Cells", "Effort", "Obs/Cells")
+		for _, g := range tr.Result.Groups {
+			fmt.Printf("  %-8v %6d %8d %9.1f %12.3f\n",
+				g.Group, g.Observations, g.CellsVisited, g.EffortKM, g.ObsPerCell)
+		}
+		sig := "not significant"
+		if tr.Result.ChiSq.PValue < 0.05 {
+			sig = "significant at 0.05"
+			significant++
+		}
+		fmt.Printf("  chi-squared X²=%.2f, df=%d, p=%.4f (%s)\n\n",
+			tr.Result.ChiSq.Statistic, tr.Result.ChiSq.DF, tr.Result.ChiSq.PValue, sig)
+	}
+	fmt.Printf("%d of %d trials significant at 0.05.\n", significant, len(trials))
+	fmt.Println("The paper's field tests found the same monotone pattern — most")
+	fmt.Println("detections per patrolled cell in the high-risk arm, fewest (zero in")
+	fmt.Println("SWS) in the low-risk arm — with p < 0.05 in all four trials.")
+}

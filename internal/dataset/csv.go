@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePointsCSV writes points as CSV with a header row: step, cell, label,
+// effort, then one column per feature. It is the export format consumed by
+// external analyses and the cmd/pawsgen tool.
+func (d *Dataset) WritePointsCSV(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	header := []string{"step", "cell", "label", "effort"}
+	header = append(header, d.FeatureNames()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, p := range pts {
+		row[0] = strconv.Itoa(p.Step)
+		row[1] = strconv.Itoa(p.Cell)
+		row[2] = strconv.Itoa(p.Label)
+		row[3] = strconv.FormatFloat(p.Effort, 'g', 8, 64)
+		for j, v := range p.Features {
+			row[4+j] = strconv.FormatFloat(v, 'g', 8, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRasterCSV writes a per-cell raster as x,y,value rows.
+func (d *Dataset) WriteRasterCSV(w io.Writer, values []float64) error {
+	if len(values) != d.Park.Grid.NumCells() {
+		return fmt.Errorf("dataset: raster length %d want %d", len(values), d.Park.Grid.NumCells())
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "value"}); err != nil {
+		return err
+	}
+	for id, v := range values {
+		x, y := d.Park.Grid.CellXY(id)
+		if err := cw.Write([]string{strconv.Itoa(x), strconv.Itoa(y), strconv.FormatFloat(v, 'g', 8, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,368 @@
+// Package dataset implements the data-processing layer of the PAWS pipeline
+// (Section III-B of the paper): it rebuilds per-cell patrol effort from raw
+// GPS waypoint streams, discretizes history into 3-month time steps (or
+// 2-month dry-season steps for SWS), assembles the feature matrix
+// X ∈ R^{T×N×k} — static geospatial features plus the previous-step patrol
+// coverage covariate — and binary labels y, and computes the summary
+// statistics of Table I and the positive-rate-vs-effort curves of Fig. 4.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paws/internal/geo"
+	"paws/internal/poach"
+	"paws/internal/stats"
+)
+
+// BaseYear anchors simulated month 0; the paper's studies use test years
+// 2014–2016 (Uganda) and 2016–2018 (Cambodia) over six years of history.
+const BaseYear = 2013
+
+// Config controls time discretization.
+type Config struct {
+	// MonthsPerStep is 3 for the standard quarterly discretization and 2 for
+	// the SWS dry-season processing.
+	MonthsPerStep int
+	// DryOnly keeps only November–April months and groups them into steps
+	// within each dry season (three 2-month steps per season).
+	DryOnly bool
+}
+
+// StandardConfig is the quarterly discretization used for MFNP/QENP/SWS.
+func StandardConfig() Config { return Config{MonthsPerStep: 3} }
+
+// DrySeasonConfig is the SWS dry-season discretization (Section V-A).
+func DrySeasonConfig() Config { return Config{MonthsPerStep: 2, DryOnly: true} }
+
+// Step is one discretized time interval.
+type Step struct {
+	Year   int   // calendar year label used for train/test splits
+	Months []int // simulated month indices composing the step
+}
+
+// Dataset is the processed view of a park's history.
+type Dataset struct {
+	Park  *geo.Park
+	Cfg   Config
+	Steps []Step
+	// Effort[t][cell] is patrol effort (km) rebuilt from waypoints.
+	Effort [][]float64
+	// Label[t][cell] reports whether rangers recorded poaching in the cell.
+	Label [][]bool
+}
+
+// Point is one (cell, step) training/test example. Features hold the static
+// geospatial features followed by the previous-step patrol coverage; the
+// current-step effort is kept separately because iWare-E uses it for
+// filtering and qualification, never as a model input (Section III-B).
+type Point struct {
+	Step     int
+	Cell     int
+	Features []float64
+	Effort   float64
+	Label    int
+}
+
+// Build processes a simulated history into a dataset.
+func Build(h *poach.History, cfg Config) (*Dataset, error) {
+	if cfg.MonthsPerStep <= 0 {
+		return nil, fmt.Errorf("dataset: MonthsPerStep must be positive, got %d", cfg.MonthsPerStep)
+	}
+	steps := buildSteps(h.Months, cfg)
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("dataset: no steps produced for %d months", h.Months)
+	}
+	d := &Dataset{Park: h.Park, Cfg: cfg, Steps: steps}
+	// Group waypoints by month once.
+	byMonth := make(map[int][]poach.Waypoint)
+	for _, w := range h.Waypoints {
+		byMonth[w.Month] = append(byMonth[w.Month], w)
+	}
+	obsByMonth := make(map[int][]poach.Observation)
+	for _, o := range h.Observations {
+		if o.Poaching {
+			obsByMonth[o.Month] = append(obsByMonth[o.Month], o)
+		}
+	}
+	n := h.Park.Grid.NumCells()
+	for _, st := range steps {
+		eff := make([]float64, n)
+		lab := make([]bool, n)
+		for _, m := range st.Months {
+			RebuildEffortInto(h.Park, byMonth[m], eff)
+			for _, o := range obsByMonth[m] {
+				lab[o.CellID] = true
+			}
+		}
+		d.Effort = append(d.Effort, eff)
+		d.Label = append(d.Label, lab)
+	}
+	return d, nil
+}
+
+// buildSteps maps simulated months into discretized steps.
+func buildSteps(months int, cfg Config) []Step {
+	var steps []Step
+	if !cfg.DryOnly {
+		for start := 0; start+cfg.MonthsPerStep <= months; start += cfg.MonthsPerStep {
+			st := Step{Year: BaseYear + start/12}
+			for m := start; m < start+cfg.MonthsPerStep; m++ {
+				st.Months = append(st.Months, m)
+			}
+			steps = append(steps, st)
+		}
+		return steps
+	}
+	// Dry-season steps: for season ending in year y, the blocks are
+	// (Nov,Dec) of y−1 and (Jan,Feb), (Mar,Apr) of y.
+	years := (months + 11) / 12
+	for y := 0; y <= years; y++ {
+		blocks := [][]int{
+			{(y-1)*12 + 10, (y-1)*12 + 11},
+			{y * 12, y*12 + 1},
+			{y*12 + 2, y*12 + 3},
+		}
+		for _, b := range blocks {
+			var ms []int
+			for _, m := range b {
+				if m >= 0 && m < months {
+					ms = append(ms, m)
+				}
+			}
+			if len(ms) == len(b) { // only complete blocks
+				steps = append(steps, Step{Year: BaseYear + y, Months: ms})
+			}
+		}
+	}
+	return steps
+}
+
+// RebuildEffortInto rasterizes straight-line trajectories between sequential
+// waypoints of each patrol, accumulating km of effort per cell into dst.
+// This reproduces the paper's "rebuild historical patrol effort ... by using
+// sequential waypoints to calculate patrol trajectories": when waypoints are
+// sparse (motorbike patrols), the rebuilt effort is an approximation of the
+// true path.
+func RebuildEffortInto(p *geo.Park, wps []poach.Waypoint, dst []float64) {
+	if len(wps) == 0 {
+		return
+	}
+	// Sort by patrol then sequence.
+	sorted := append([]poach.Waypoint(nil), wps...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].PatrolID != sorted[b].PatrolID {
+			return sorted[a].PatrolID < sorted[b].PatrolID
+		}
+		return sorted[a].Seq < sorted[b].Seq
+	})
+	const sample = 0.1 // km between trajectory samples
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if a.PatrolID != b.PatrolID {
+			continue
+		}
+		dx, dy := b.X-a.X, b.Y-a.Y
+		dist := math.Hypot(dx, dy)
+		if dist == 0 {
+			continue
+		}
+		nSamples := int(dist/sample) + 1
+		per := dist / float64(nSamples)
+		for s := 0; s < nSamples; s++ {
+			t := (float64(s) + 0.5) / float64(nSamples)
+			x, y := a.X+t*dx, a.Y+t*dy
+			if id := p.Grid.CellID(int(x), int(y)); id >= 0 {
+				dst[id] += per
+			}
+		}
+	}
+}
+
+// NumFeatures returns the model feature count: static features plus the
+// previous-step coverage covariate. This matches Table I's feature counts.
+func (d *Dataset) NumFeatures() int { return d.Park.NumFeatures() + 1 }
+
+// FeatureNames returns the ordered model feature names.
+func (d *Dataset) FeatureNames() []string {
+	out := append([]string(nil), d.Park.FeatureNames...)
+	return append(out, "prev_coverage")
+}
+
+// PointsForSteps builds data points for steps in [from, to). Only patrolled
+// (effort > 0) cell-steps become points; step 0 is skipped when it has no
+// predecessor for the coverage covariate (its previous coverage is 0).
+func (d *Dataset) PointsForSteps(from, to int) []Point {
+	var pts []Point
+	nf := d.Park.NumFeatures()
+	for t := from; t < to && t < len(d.Steps); t++ {
+		if t < 0 {
+			continue
+		}
+		for cell, e := range d.Effort[t] {
+			if e <= 0 {
+				continue
+			}
+			f := make([]float64, nf+1)
+			d.Park.FeatureVector(cell, f[:nf])
+			if t > 0 {
+				f[nf] = d.Effort[t-1][cell]
+			}
+			label := 0
+			if d.Label[t][cell] {
+				label = 1
+			}
+			pts = append(pts, Point{Step: t, Cell: cell, Features: f, Effort: e, Label: label})
+		}
+	}
+	return pts
+}
+
+// AllPoints returns points for every step.
+func (d *Dataset) AllPoints() []Point { return d.PointsForSteps(0, len(d.Steps)) }
+
+// StepsForYear returns the step index range [from, to) whose Year == year.
+func (d *Dataset) StepsForYear(year int) (from, to int) {
+	from, to = -1, -1
+	for i, st := range d.Steps {
+		if st.Year == year {
+			if from < 0 {
+				from = i
+			}
+			to = i + 1
+		}
+	}
+	return from, to
+}
+
+// Split holds a train/test division by calendar year.
+type Split struct {
+	TestYear int
+	Train    []Point
+	Test     []Point
+}
+
+// SplitByTestYear trains on the trainYears years preceding testYear and
+// tests on testYear, mirroring the paper's protocol ("training on the first
+// three years and testing on the fourth").
+func (d *Dataset) SplitByTestYear(testYear, trainYears int) (Split, error) {
+	testFrom, testTo := d.StepsForYear(testYear)
+	if testFrom < 0 {
+		return Split{}, fmt.Errorf("dataset: no steps for test year %d", testYear)
+	}
+	trainFrom, _ := d.StepsForYear(testYear - trainYears)
+	if trainFrom < 0 {
+		// Fall back to the earliest available step.
+		trainFrom = 0
+	}
+	return Split{
+		TestYear: testYear,
+		Train:    d.PointsForSteps(trainFrom, testFrom),
+		Test:     d.PointsForSteps(testFrom, testTo),
+	}, nil
+}
+
+// Stats mirrors a column of Table I.
+type Stats struct {
+	Name        string
+	NumFeatures int
+	NumCells    int
+	NumPoints   int
+	NumPositive int
+	PctPositive float64
+	AvgEffortKM float64
+}
+
+// TableIStats computes the Table I row for this dataset.
+func (d *Dataset) TableIStats(name string) Stats {
+	pts := d.AllPoints()
+	s := Stats{
+		Name:        name,
+		NumFeatures: d.NumFeatures(),
+		NumCells:    d.Park.Grid.NumCells(),
+		NumPoints:   len(pts),
+	}
+	var effSum float64
+	for _, p := range pts {
+		if p.Label == 1 {
+			s.NumPositive++
+		}
+		effSum += p.Effort
+	}
+	if len(pts) > 0 {
+		s.PctPositive = 100 * float64(s.NumPositive) / float64(len(pts))
+		s.AvgEffortKM = effSum / float64(len(pts))
+	}
+	return s
+}
+
+// PositiveRateByEffortPercentile computes Fig. 4's series: for each effort
+// percentile threshold, the percentage of positive labels among points whose
+// effort is at least that percentile of the point-effort distribution.
+func PositiveRateByEffortPercentile(pts []Point, percentiles []float64) []float64 {
+	if len(pts) == 0 {
+		return make([]float64, len(percentiles))
+	}
+	efforts := make([]float64, len(pts))
+	for i, p := range pts {
+		efforts[i] = p.Effort
+	}
+	sort.Float64s(efforts)
+	out := make([]float64, len(percentiles))
+	for k, pct := range percentiles {
+		thr := stats.PercentileSorted(efforts, pct)
+		var pos, tot int
+		for _, p := range pts {
+			if p.Effort >= thr {
+				tot++
+				if p.Label == 1 {
+					pos++
+				}
+			}
+		}
+		if tot > 0 {
+			out[k] = 100 * float64(pos) / float64(tot)
+		}
+	}
+	return out
+}
+
+// EffortPercentileThresholds returns the effort values at I evenly spaced
+// percentiles from 0 to pMax over the training points — the paper's
+// enhancement of selecting iWare-E thresholds by percentile so every weak
+// learner sees a consistent amount of data (Section IV).
+func EffortPercentileThresholds(pts []Point, count int, pMax float64) []float64 {
+	if count <= 0 {
+		return nil
+	}
+	efforts := make([]float64, len(pts))
+	for i, p := range pts {
+		efforts[i] = p.Effort
+	}
+	sort.Float64s(efforts)
+	out := make([]float64, count)
+	for i := 0; i < count; i++ {
+		var pct float64
+		if count > 1 {
+			pct = pMax * float64(i) / float64(count-1)
+		}
+		out[i] = stats.PercentileSorted(efforts, pct)
+	}
+	// Thresholds must be non-decreasing and start at 0 so the first learner
+	// sees the full dataset.
+	if len(out) > 0 {
+		out[0] = 0
+	}
+	return out
+}
+
+// Labels extracts the label vector of a point slice.
+func Labels(pts []Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.Label
+	}
+	return out
+}

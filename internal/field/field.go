@@ -1,0 +1,276 @@
+// Package field implements the field-test protocol of Section VII: selecting
+// candidate blocks from a risk map, classifying them into hidden high/
+// medium/low risk groups, simulating ranger patrols over the recommended
+// areas against the true poaching process, and reporting the Table III
+// statistics with Pearson chi-squared significance tests.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"paws/internal/geo"
+	"paws/internal/poach"
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// RiskGroup labels the paper's three experiment arms.
+type RiskGroup int
+
+const (
+	// High is the 80–100th percentile of predicted risk.
+	High RiskGroup = iota
+	// Medium is the 40–60th percentile.
+	Medium
+	// Low is the 0–20th percentile.
+	Low
+)
+
+func (g RiskGroup) String() string {
+	switch g {
+	case High:
+		return "High"
+	case Medium:
+		return "Medium"
+	case Low:
+		return "Low"
+	}
+	return fmt.Sprintf("RiskGroup(%d)", int(g))
+}
+
+// Block is a candidate b×b km test region.
+type Block struct {
+	Cells []int // park cell ids
+	Risk  float64
+	// History is the total past patrol effort over the block (for the
+	// low-history filter).
+	History float64
+	Group   RiskGroup
+}
+
+// Protocol configures a field test.
+type Protocol struct {
+	// BlockSize is the block edge length in cells (2 for MFNP, 3 for SWS).
+	BlockSize int
+	// PerGroup is the number of blocks selected per risk group.
+	PerGroup int
+	// HistoryPercentileCap filters out blocks whose historical patrol effort
+	// is above this percentile (the paper uses 50 to test predictive power
+	// in sparsely patrolled areas).
+	HistoryPercentileCap float64
+	// Months is the duration of the trial.
+	Months int
+	// StartMonth indexes the simulated month the trial begins at.
+	StartMonth int
+	// EffortPerCellMonth scales how much patrol effort rangers spend per
+	// cell per month in recommended blocks.
+	EffortPerCellMonth float64
+	// IntuitionBias ∈ [0,1] adds ranger intuition: effort mildly correlated
+	// with the true attractiveness, mirroring the paper's observation that
+	// rangers allocated more effort to high-risk areas without being told.
+	IntuitionBias float64
+	Seed          int64
+}
+
+// GroupResult is one row of Table III.
+type GroupResult struct {
+	Group        RiskGroup
+	Observations int     // # cells where poaching was detected
+	CellsVisited int     // # distinct 1×1 km cells patrolled
+	EffortKM     float64 // total patrol effort
+	ObsPerCell   float64 // Observations / CellsVisited
+}
+
+// Result is a full field-test trial.
+type Result struct {
+	Groups []GroupResult // ordered High, Medium, Low
+	ChiSq  stats.ChiSquared
+	Blocks []Block
+}
+
+// SelectBlocks tiles the park into non-overlapping BlockSize×BlockSize
+// blocks, filters by history, and classifies blocks into risk groups by the
+// percentile bands of the paper (80–100 high, 40–60 medium, 0–20 low).
+func SelectBlocks(park *geo.Park, risk []float64, history []float64, proto Protocol, r *rng.RNG) ([]Block, error) {
+	if proto.BlockSize < 1 {
+		return nil, errors.New("field: block size must be ≥ 1")
+	}
+	if len(risk) != park.Grid.NumCells() || len(history) != park.Grid.NumCells() {
+		return nil, errors.New("field: risk/history length mismatch")
+	}
+	g := park.Grid
+	var blocks []Block
+	for y := 0; y+proto.BlockSize <= g.H; y += proto.BlockSize {
+		for x := 0; x+proto.BlockSize <= g.W; x += proto.BlockSize {
+			var cells []int
+			var riskSum, histSum float64
+			for dy := 0; dy < proto.BlockSize; dy++ {
+				for dx := 0; dx < proto.BlockSize; dx++ {
+					id := g.CellID(x+dx, y+dy)
+					if id < 0 {
+						continue
+					}
+					cells = append(cells, id)
+					riskSum += risk[id]
+					histSum += history[id]
+				}
+			}
+			// Require fully in-park blocks so areas are comparable.
+			if len(cells) != proto.BlockSize*proto.BlockSize {
+				continue
+			}
+			blocks = append(blocks, Block{
+				Cells:   cells,
+				Risk:    riskSum / float64(len(cells)),
+				History: histSum,
+			})
+		}
+	}
+	if len(blocks) == 0 {
+		return nil, errors.New("field: no complete blocks in park")
+	}
+	// Low-history filter.
+	if proto.HistoryPercentileCap > 0 && proto.HistoryPercentileCap < 100 {
+		hist := make([]float64, len(blocks))
+		for i, b := range blocks {
+			hist[i] = b.History
+		}
+		cap := stats.Percentile(hist, proto.HistoryPercentileCap)
+		var kept []Block
+		for _, b := range blocks {
+			if b.History <= cap {
+				kept = append(kept, b)
+			}
+		}
+		blocks = kept
+	}
+	if len(blocks) < 3*proto.PerGroup {
+		return nil, fmt.Errorf("field: only %d candidate blocks for %d needed", len(blocks), 3*proto.PerGroup)
+	}
+	// Risk percentile bands.
+	sort.Slice(blocks, func(a, b int) bool { return blocks[a].Risk < blocks[b].Risk })
+	n := len(blocks)
+	band := func(loP, hiP float64) []int {
+		lo := int(loP / 100 * float64(n))
+		hi := int(hiP / 100 * float64(n))
+		if hi > n {
+			hi = n
+		}
+		var idx []int
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		return idx
+	}
+	pick := func(idx []int, grp RiskGroup, out *[]Block) error {
+		if len(idx) < proto.PerGroup {
+			return fmt.Errorf("field: band for %v has only %d blocks", grp, len(idx))
+		}
+		for _, k := range r.SampleWithoutReplacement(len(idx), proto.PerGroup) {
+			b := blocks[idx[k]]
+			b.Group = grp
+			*out = append(*out, b)
+		}
+		return nil
+	}
+	var selected []Block
+	if err := pick(band(80, 100), High, &selected); err != nil {
+		return nil, err
+	}
+	if err := pick(band(40, 60), Medium, &selected); err != nil {
+		return nil, err
+	}
+	if err := pick(band(0, 20), Low, &selected); err != nil {
+		return nil, err
+	}
+	return selected, nil
+}
+
+// Run simulates the trial: rangers patrol the selected blocks (risk group
+// hidden from them) and the true poaching process generates attacks and
+// detections.
+func Run(park *geo.Park, truth *poach.GroundTruth, risk, history []float64, proto Protocol) (*Result, error) {
+	if proto.Months < 1 {
+		return nil, errors.New("field: months must be ≥ 1")
+	}
+	root := rng.New(proto.Seed)
+	blocks, err := SelectBlocks(park, risk, history, proto, root.Split("select"))
+	if err != nil {
+		return nil, err
+	}
+	attract := park.FeatureByName("animal_density")
+
+	effRNG := root.Split("effort")
+	atkRNG := root.Split("attacks")
+
+	type tally struct {
+		obsCells map[int]bool
+		cells    map[int]bool
+		effort   float64
+	}
+	tallies := map[RiskGroup]*tally{
+		High:   {obsCells: map[int]bool{}, cells: map[int]bool{}},
+		Medium: {obsCells: map[int]bool{}, cells: map[int]bool{}},
+		Low:    {obsCells: map[int]bool{}, cells: map[int]bool{}},
+	}
+	for _, b := range blocks {
+		ta := tallies[b.Group]
+		for m := 0; m < proto.Months; m++ {
+			month := proto.StartMonth + m
+			for _, cell := range b.Cells {
+				// Ranger effort: lognormal-ish base plus intuition term.
+				e := proto.EffortPerCellMonth * (0.4 + effRNG.Float64())
+				if attract != nil {
+					e *= 1 + proto.IntuitionBias*attract.V[cell]
+				}
+				// Some cells are skipped (limited resources).
+				if effRNG.Bernoulli(0.25) {
+					continue
+				}
+				ta.cells[cell] = true
+				ta.effort += e
+				if atkRNG.Bernoulli(truth.AttackProb(cell, month, 0)) &&
+					atkRNG.Bernoulli(truth.DetectProb(e)) {
+					ta.obsCells[cell] = true
+				}
+			}
+		}
+	}
+	res := &Result{Blocks: blocks}
+	for _, grp := range []RiskGroup{High, Medium, Low} {
+		ta := tallies[grp]
+		gr := GroupResult{
+			Group:        grp,
+			Observations: len(ta.obsCells),
+			CellsVisited: len(ta.cells),
+			EffortKM:     ta.effort,
+		}
+		if gr.CellsVisited > 0 {
+			gr.ObsPerCell = float64(gr.Observations) / float64(gr.CellsVisited)
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	// Chi-squared on (risk group) × (cell had observation / not).
+	table := make([][]float64, 0, 3)
+	for _, gr := range res.Groups {
+		if gr.CellsVisited == 0 {
+			continue
+		}
+		table = append(table, []float64{
+			float64(gr.Observations),
+			float64(gr.CellsVisited - gr.Observations),
+		})
+	}
+	if len(table) >= 2 {
+		if cs, err := stats.ChiSquaredTest(table); err == nil {
+			res.ChiSq = cs
+		} else {
+			res.ChiSq = stats.ChiSquared{PValue: 1}
+		}
+	} else {
+		res.ChiSq = stats.ChiSquared{PValue: 1}
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package field
+
+import (
+	"testing"
+
+	"paws/internal/geo"
+	"paws/internal/poach"
+	"paws/internal/rng"
+)
+
+func fieldPark(t *testing.T) *geo.Park {
+	t.Helper()
+	cfg := geo.ParkConfig{
+		Name: "FIELD", Seed: 61, W: 30, H: 30, TargetCells: 700,
+		Shape: geo.ShapeRound, NumRivers: 2, NumRoads: 3, NumVillages: 3,
+		NumPosts: 3, ExtraFeatures: 2,
+	}
+	p, err := geo.GeneratePark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// trueRisk builds a risk map from the ground truth itself (a perfect
+// predictor), which the field test should validate decisively.
+func trueRisk(park *geo.Park, truth *poach.GroundTruth) []float64 {
+	risk := make([]float64, park.Grid.NumCells())
+	for id := range risk {
+		risk[id] = truth.AttackProb(id, 0, 0)
+	}
+	return risk
+}
+
+func defaultProto(seed int64) Protocol {
+	return Protocol{
+		BlockSize:            2,
+		PerGroup:             5,
+		HistoryPercentileCap: 60,
+		Months:               4,
+		EffortPerCellMonth:   2.0,
+		IntuitionBias:        0.3,
+		Seed:                 seed,
+	}
+}
+
+func TestSelectBlocksGroupsAndFilter(t *testing.T) {
+	park := fieldPark(t)
+	truth := poach.NewGroundTruth(park, 0.3, 0, 0.5, 0)
+	truth.Bias = -1
+	risk := trueRisk(park, truth)
+	history := make([]float64, park.Grid.NumCells())
+	// Heavy history in the west half.
+	for id := range history {
+		x, _ := park.Grid.CellXY(id)
+		if x < park.Grid.W/2 {
+			history[id] = 10
+		}
+	}
+	proto := defaultProto(1)
+	blocks, err := SelectBlocks(park, risk, history, proto, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3*proto.PerGroup {
+		t.Fatalf("blocks = %d want %d", len(blocks), 3*proto.PerGroup)
+	}
+	counts := map[RiskGroup]int{}
+	var hiMin, loMax float64
+	hiMin, loMax = 2, -1
+	for _, b := range blocks {
+		counts[b.Group]++
+		switch b.Group {
+		case High:
+			if b.Risk < hiMin {
+				hiMin = b.Risk
+			}
+		case Low:
+			if b.Risk > loMax {
+				loMax = b.Risk
+			}
+		}
+		if len(b.Cells) != proto.BlockSize*proto.BlockSize {
+			t.Fatal("incomplete block selected")
+		}
+	}
+	for _, grp := range []RiskGroup{High, Medium, Low} {
+		if counts[grp] != proto.PerGroup {
+			t.Fatalf("group %v has %d blocks", grp, counts[grp])
+		}
+	}
+	// High-risk blocks must carry more predicted risk than low-risk blocks.
+	if hiMin <= loMax {
+		t.Fatalf("risk bands overlap: high min %v ≤ low max %v", hiMin, loMax)
+	}
+}
+
+func TestSelectBlocksErrors(t *testing.T) {
+	park := fieldPark(t)
+	truth := poach.NewGroundTruth(park, 0.3, 0, 0.5, 0)
+	risk := trueRisk(park, truth)
+	history := make([]float64, park.Grid.NumCells())
+	proto := defaultProto(1)
+	proto.BlockSize = 0
+	if _, err := SelectBlocks(park, risk, history, proto, rng.New(1)); err == nil {
+		t.Fatal("expected block-size error")
+	}
+	proto = defaultProto(1)
+	if _, err := SelectBlocks(park, risk[:5], history, proto, rng.New(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	proto = defaultProto(1)
+	proto.PerGroup = 10000
+	if _, err := SelectBlocks(park, risk, history, proto, rng.New(1)); err == nil {
+		t.Fatal("expected not-enough-blocks error")
+	}
+}
+
+func TestRunFieldTestDiscriminates(t *testing.T) {
+	park := fieldPark(t)
+	truth := poach.NewGroundTruth(park, 0.3, 0, 0.5, 0)
+	truth.Bias = -0.5 // common attacks so the trial has power
+	risk := trueRisk(park, truth)
+	history := make([]float64, park.Grid.NumCells())
+	res, err := Run(park, truth, risk, history, defaultProto(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	high, low := res.Groups[0], res.Groups[2]
+	if high.Group != High || low.Group != Low {
+		t.Fatal("group order must be High, Medium, Low")
+	}
+	if high.CellsVisited == 0 || low.CellsVisited == 0 {
+		t.Fatal("no patrolling happened")
+	}
+	// With a perfect predictor, high-risk areas must yield more obs/cell.
+	if high.ObsPerCell <= low.ObsPerCell {
+		t.Fatalf("high %v ≤ low %v obs/cell", high.ObsPerCell, low.ObsPerCell)
+	}
+	if res.ChiSq.PValue < 0 || res.ChiSq.PValue > 1 {
+		t.Fatalf("p-value %v", res.ChiSq.PValue)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	park := fieldPark(t)
+	truth := poach.NewGroundTruth(park, 0.3, 0, 0.5, 0)
+	truth.Bias = -1
+	risk := trueRisk(park, truth)
+	history := make([]float64, park.Grid.NumCells())
+	r1, err := Run(park, truth, risk, history, defaultProto(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(park, truth, risk, history, defaultProto(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Groups {
+		if r1.Groups[i] != r2.Groups[i] {
+			t.Fatal("field test not deterministic")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	park := fieldPark(t)
+	truth := poach.NewGroundTruth(park, 0.3, 0, 0.5, 0)
+	risk := trueRisk(park, truth)
+	history := make([]float64, park.Grid.NumCells())
+	proto := defaultProto(1)
+	proto.Months = 0
+	if _, err := Run(park, truth, risk, history, proto); err == nil {
+		t.Fatal("expected months error")
+	}
+}
+
+func TestRiskGroupString(t *testing.T) {
+	if High.String() != "High" || Medium.String() != "Medium" || Low.String() != "Low" {
+		t.Fatal("group names wrong")
+	}
+	if RiskGroup(9).String() == "" {
+		t.Fatal("unknown group should still print")
+	}
+}

@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"container/heap"
+	"math"
+)
+
+// DistanceTransform computes, for every in-park cell, the shortest-path
+// distance in km to the nearest source cell, moving through in-park cells
+// with 8-connectivity (diagonal steps cost √2). Cells unreachable from any
+// source get +Inf. An empty source set yields an all-Inf raster.
+func DistanceTransform(g *Grid, sources []int) *Raster {
+	r := NewRaster(g)
+	for i := range r.V {
+		r.V[i] = math.Inf(1)
+	}
+	pq := &distHeap{}
+	heap.Init(pq)
+	for _, s := range sources {
+		if s < 0 || s >= g.NumCells() {
+			continue
+		}
+		if r.V[s] > 0 {
+			r.V[s] = 0
+			heap.Push(pq, distItem{id: s, d: 0})
+		}
+	}
+	scratch := make([]int, 0, 8)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > r.V[it.id] {
+			continue
+		}
+		x, y := g.CellXY(it.id)
+		scratch = scratch[:0]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				n := g.CellID(x+dx, y+dy)
+				if n < 0 {
+					continue
+				}
+				step := 1.0
+				if dx != 0 && dy != 0 {
+					step = math.Sqrt2
+				}
+				nd := it.d + step
+				if nd < r.V[n] {
+					r.V[n] = nd
+					heap.Push(pq, distItem{id: n, d: nd})
+				}
+			}
+		}
+		_ = scratch
+	}
+	return r
+}
+
+type distItem struct {
+	id int
+	d  float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BoundaryCells returns the compact ids of all cells on the park boundary.
+func BoundaryCells(g *Grid) []int {
+	var out []int
+	for id := 0; id < g.NumCells(); id++ {
+		if g.OnBoundary(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

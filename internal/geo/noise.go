@@ -1,0 +1,78 @@
+package geo
+
+import "math"
+
+// Noise is deterministic multi-octave value noise over the plane. It is the
+// generator for elevation, forest cover, NPP and similar smooth fields. All
+// values depend only on (seed, x, y), never on evaluation order.
+type Noise struct {
+	seed    uint64
+	octaves int
+	persist float64
+	freq    float64
+}
+
+// NewNoise creates a noise field with the given seed, number of octaves,
+// persistence (amplitude decay per octave, typically 0.5) and base frequency
+// (cycles per cell, typically 0.02–0.1).
+func NewNoise(seed int64, octaves int, persist, freq float64) *Noise {
+	if octaves < 1 {
+		octaves = 1
+	}
+	return &Noise{seed: uint64(seed), octaves: octaves, persist: persist, freq: freq}
+}
+
+// latticeHash returns a deterministic pseudo-random value in [0,1) for an
+// integer lattice point at a given octave, using a SplitMix64-style mixer so
+// values depend only on (seed, point, octave).
+func (n *Noise) latticeHash(ix, iy int64, octave int) float64 {
+	x := uint64(ix)*0x9E3779B97F4A7C15 ^ uint64(iy)*0xC2B2AE3D27D4EB4F ^ n.seed ^ uint64(octave)*0x165667B19E3779F9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// smoothstep is the cubic smoothing used for bilinear value noise.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// octaveAt evaluates a single octave of smooth value noise at (x, y).
+func (n *Noise) octaveAt(x, y float64, octave int) float64 {
+	ix, iy := math.Floor(x), math.Floor(y)
+	fx, fy := x-ix, y-iy
+	x0, y0 := int64(ix), int64(iy)
+	v00 := n.latticeHash(x0, y0, octave)
+	v10 := n.latticeHash(x0+1, y0, octave)
+	v01 := n.latticeHash(x0, y0+1, octave)
+	v11 := n.latticeHash(x0+1, y0+1, octave)
+	sx, sy := smoothstep(fx), smoothstep(fy)
+	top := v00*(1-sx) + v10*sx
+	bot := v01*(1-sx) + v11*sx
+	return top*(1-sy) + bot*sy
+}
+
+// At evaluates the multi-octave noise at (x, y), returning a value in [0, 1].
+func (n *Noise) At(x, y float64) float64 {
+	var sum, amp, norm float64
+	amp = 1
+	freq := n.freq
+	for o := 0; o < n.octaves; o++ {
+		sum += amp * n.octaveAt(x*freq, y*freq, o)
+		norm += amp
+		amp *= n.persist
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// Fill evaluates the noise over every in-park cell of g.
+func (n *Noise) Fill(g *Grid) *Raster {
+	r := NewRaster(g)
+	for id := 0; id < g.NumCells(); id++ {
+		x, y := g.CellXY(id)
+		r.V[id] = n.At(float64(x), float64(y))
+	}
+	return r
+}

@@ -1,0 +1,545 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paws/internal/rng"
+)
+
+// Shape selects the park-boundary silhouette used by the mask generator.
+type Shape int
+
+const (
+	// ShapeRound is a roughly circular park with a protected core (MFNP).
+	ShapeRound Shape = iota
+	// ShapeElongated is a long thin park easy to access from the boundary
+	// (QENP).
+	ShapeElongated
+	// ShapeIrregular is a sprawling, noisy silhouette (SWS).
+	ShapeIrregular
+)
+
+// ParkConfig controls synthetic park generation. The presets in presets.go
+// calibrate these to Table I of the paper.
+type ParkConfig struct {
+	Name        string
+	Seed        int64
+	W, H        int // bounding lattice
+	TargetCells int // exact number of in-park 1×1 km cells
+	Shape       Shape
+	NumRivers   int
+	NumRoads    int
+	NumVillages int
+	NumPosts    int
+	// ExtraFeatures appends park-specific noise features so the static
+	// feature count matches Table I.
+	ExtraFeatures int
+	// Seasonal marks parks with a wet/dry season divide (SWS).
+	Seasonal bool
+}
+
+// Park is a generated protected area: grid, named static feature rasters,
+// and landmark cell sets. Static features are ordered and exposed both as a
+// name list and as a per-cell feature-vector view.
+type Park struct {
+	Name   string
+	Config ParkConfig
+	Grid   *Grid
+
+	FeatureNames []string
+	features     []*Raster // parallel to FeatureNames
+
+	Elevation *Raster
+	Rivers    []int // cell ids carrying river segments
+	Roads     []int
+	Villages  []int // cell ids of in-park cells nearest to villages
+	Posts     []int // patrol-post cell ids
+
+	// NorthSouth is +1 in the north half, -1 in the south half (used by the
+	// seasonal attack model for SWS).
+	NorthSouth *Raster
+}
+
+// NumFeatures returns the number of static features.
+func (p *Park) NumFeatures() int { return len(p.features) }
+
+// Feature returns the raster for feature index j.
+func (p *Park) Feature(j int) *Raster { return p.features[j] }
+
+// FeatureByName returns the raster with the given name, or nil.
+func (p *Park) FeatureByName(name string) *Raster {
+	for i, n := range p.FeatureNames {
+		if n == name {
+			return p.features[i]
+		}
+	}
+	return nil
+}
+
+// FeatureVector copies the static features of cell id into dst (allocating
+// when dst is too small) and returns it.
+func (p *Park) FeatureVector(id int, dst []float64) []float64 {
+	if cap(dst) < len(p.features) {
+		dst = make([]float64, len(p.features))
+	}
+	dst = dst[:len(p.features)]
+	for j, r := range p.features {
+		dst[j] = r.V[id]
+	}
+	return dst
+}
+
+// GeneratePark builds a synthetic park from cfg. Generation is fully
+// deterministic in cfg.Seed.
+func GeneratePark(cfg ParkConfig) (*Park, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("geo: invalid lattice %d×%d", cfg.W, cfg.H)
+	}
+	if cfg.TargetCells <= 0 || cfg.TargetCells > cfg.W*cfg.H {
+		return nil, fmt.Errorf("geo: target cells %d out of range for %d×%d", cfg.TargetCells, cfg.W, cfg.H)
+	}
+	r := rng.New(cfg.Seed)
+
+	grid := buildMask(cfg, r.Split("mask"))
+	p := &Park{Name: cfg.Name, Config: cfg, Grid: grid}
+
+	// --- Terrain ---
+	elev := NewNoise(cfg.Seed+101, 5, 0.55, 0.035).Fill(grid)
+	// Tilt the terrain slightly so rivers have a consistent direction.
+	for id := 0; id < grid.NumCells(); id++ {
+		_, y := grid.CellXY(id)
+		elev.V[id] += 0.25 * float64(y) / float64(grid.H)
+	}
+	elev.Normalize()
+	p.Elevation = elev
+
+	slope := computeSlope(grid, elev)
+	forest := NewNoise(cfg.Seed+202, 4, 0.5, 0.05).Fill(grid)
+	npp := NewNoise(cfg.Seed+303, 4, 0.5, 0.03).Fill(grid)
+	rain := NewNoise(cfg.Seed+404, 3, 0.5, 0.02).Fill(grid)
+
+	// Animal density: higher in low-slope, high-NPP areas away from boundary.
+	distBoundary := DistanceTransform(grid, BoundaryCells(grid))
+	animal := NewRaster(grid)
+	animalNoise := NewNoise(cfg.Seed+505, 4, 0.5, 0.04)
+	for id := 0; id < grid.NumCells(); id++ {
+		x, y := grid.CellXY(id)
+		interior := 1 - math.Exp(-distBoundary.V[id]/6)
+		animal.V[id] = 0.45*npp.V[id] + 0.3*interior + 0.25*animalNoise.At(float64(x), float64(y))
+	}
+	animal.Normalize()
+
+	// --- Landmarks ---
+	p.Rivers = traceRivers(grid, elev, cfg.NumRivers, r.Split("rivers"))
+	p.Roads = traceRoads(grid, cfg.NumRoads, r.Split("roads"))
+	p.Villages = placeNearBoundary(grid, cfg.NumVillages, r.Split("villages"))
+	p.Posts = placePosts(grid, p.Roads, cfg.NumPosts, r.Split("posts"))
+
+	distRiver := DistanceTransform(grid, p.Rivers)
+	distRoad := DistanceTransform(grid, p.Roads)
+	distVillage := DistanceTransform(grid, p.Villages)
+	distPost := DistanceTransform(grid, p.Posts)
+	capInf := func(rr *Raster) {
+		// Replace Inf (no landmark of this kind) with the park diameter.
+		diam := float64(grid.W + grid.H)
+		for i, v := range rr.V {
+			if math.IsInf(v, 1) {
+				rr.V[i] = diam
+			}
+		}
+	}
+	capInf(distRiver)
+	capInf(distRoad)
+	capInf(distVillage)
+	capInf(distPost)
+
+	ns := NewRaster(grid)
+	for id := 0; id < grid.NumCells(); id++ {
+		_, y := grid.CellXY(id)
+		if float64(y) < float64(grid.H)/2 {
+			ns.V[id] = 1
+		} else {
+			ns.V[id] = -1
+		}
+	}
+	p.NorthSouth = ns
+
+	add := func(name string, rr *Raster) {
+		p.FeatureNames = append(p.FeatureNames, name)
+		p.features = append(p.features, rr)
+	}
+	add("elevation", elev)
+	add("slope", slope)
+	add("forest_cover", forest)
+	add("npp", npp)
+	add("rainfall", rain)
+	add("animal_density", animal)
+	add("dist_boundary", distBoundary)
+	add("dist_river", distRiver)
+	add("dist_road", distRoad)
+	add("dist_village", distVillage)
+	add("dist_patrol_post", distPost)
+	for e := 0; e < cfg.ExtraFeatures; e++ {
+		nz := NewNoise(cfg.Seed+1000+int64(e)*37, 3, 0.5, 0.03+0.01*float64(e%4)).Fill(grid)
+		add(fmt.Sprintf("aux_%02d", e), nz)
+	}
+	return p, nil
+}
+
+// buildMask generates the park silhouette and selects exactly
+// cfg.TargetCells cells by ranking a shape potential.
+func buildMask(cfg ParkConfig, r *rng.RNG) *Grid {
+	w, h := cfg.W, cfg.H
+	pot := make([]float64, w*h)
+	noise := NewNoise(cfg.Seed+7, 4, 0.55, 0.04)
+	cx, cy := float64(w)/2, float64(h)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			var base float64
+			switch cfg.Shape {
+			case ShapeRound:
+				dx, dy := (fx-cx)/cx, (fy-cy)/cy
+				base = 1 - math.Sqrt(dx*dx+dy*dy)
+			case ShapeElongated:
+				dx, dy := (fx-cx)/cx, (fy-cy)/cy
+				base = 1 - math.Sqrt(0.25*dx*dx+2.2*dy*dy)
+			case ShapeIrregular:
+				dx, dy := (fx-cx)/cx, (fy-cy)/cy
+				base = 1 - math.Pow(dx*dx+dy*dy, 0.38)
+			}
+			pot[y*w+x] = base + 0.35*noise.At(fx, fy)
+		}
+	}
+	// Keep the TargetCells cells with the highest potential.
+	order := make([]rankedCell, len(pot))
+	for i, v := range pot {
+		order[i] = rankedCell{i, v}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].v > order[b].v })
+	mask := make([]bool, w*h)
+	for i := 0; i < cfg.TargetCells; i++ {
+		mask[order[i].idx] = true
+	}
+	g := NewGrid(w, h, mask)
+	// The threshold cut can strand isolated cells; absorb them into the main
+	// component by swapping with the best excluded cells adjacent to it.
+	g = largestComponentWithTopUp(w, h, mask, order, cfg.TargetCells)
+	_ = r
+	return g
+}
+
+// rankedCell pairs a lattice index with its shape potential.
+type rankedCell struct {
+	idx int
+	v   float64
+}
+
+// largestComponentWithTopUp keeps the largest connected component of the
+// mask and, if that drops below target, greedily adds the highest-potential
+// excluded cells adjacent to the component until the count is exact.
+func largestComponentWithTopUp(w, h int, mask []bool, order []rankedCell, target int) *Grid {
+	comp := make([]int, w*h)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	var stack []int
+	for i, in := range mask {
+		if !in || comp[i] >= 0 {
+			continue
+		}
+		c := len(sizes)
+		size := 0
+		stack = append(stack[:0], i)
+		comp[i] = c
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			x, y := cur%w, cur/w
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				ni := ny*w + nx
+				if mask[ni] && comp[ni] < 0 {
+					comp[ni] = c
+					stack = append(stack, ni)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	kept := make([]bool, w*h)
+	count := 0
+	for i := range mask {
+		if mask[i] && comp[i] == best {
+			kept[i] = true
+			count++
+		}
+	}
+	// Top up to the exact target by repeatedly adding the highest-potential
+	// excluded cell adjacent to the kept region.
+	for count < target {
+		added := false
+		for _, o := range order {
+			if kept[o.idx] {
+				continue
+			}
+			x, y := o.idx%w, o.idx/w
+			adjacent := false
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx >= 0 && nx < w && ny >= 0 && ny < h && kept[ny*w+nx] {
+					adjacent = true
+					break
+				}
+			}
+			if adjacent {
+				kept[o.idx] = true
+				count++
+				added = true
+				break
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	// Trim overshoot (possible when the largest component exceeds target):
+	// remove lowest-potential boundary cells that do not disconnect the mask.
+	for count > target {
+		removed := false
+		for k := len(order) - 1; k >= 0; k-- {
+			idx := order[k].idx
+			if !kept[idx] {
+				continue
+			}
+			kept[idx] = false
+			if maskConnected(w, h, kept) {
+				count--
+				removed = true
+				break
+			}
+			kept[idx] = true
+		}
+		if !removed {
+			break
+		}
+	}
+	return NewGrid(w, h, kept)
+}
+
+// maskConnected reports whether the true cells of mask form one connected
+// component (4-connectivity).
+func maskConnected(w, h int, mask []bool) bool {
+	start := -1
+	total := 0
+	for i, in := range mask {
+		if in {
+			total++
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if total == 0 {
+		return true
+	}
+	seen := make([]bool, w*h)
+	stack := []int{start}
+	seen[start] = true
+	visited := 0
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		x, y := cur%w, cur/w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= w || ny < 0 || ny >= h {
+				continue
+			}
+			ni := ny*w + nx
+			if mask[ni] && !seen[ni] {
+				seen[ni] = true
+				stack = append(stack, ni)
+			}
+		}
+	}
+	return visited == total
+}
+
+// computeSlope approximates per-cell slope as the max elevation difference
+// to 8-neighbors.
+func computeSlope(g *Grid, elev *Raster) *Raster {
+	slope := NewRaster(g)
+	nbr := make([]int, 0, 8)
+	for id := 0; id < g.NumCells(); id++ {
+		nbr = g.Neighbors8(id, nbr[:0])
+		var maxd float64
+		for _, n := range nbr {
+			d := math.Abs(elev.V[id] - elev.V[n])
+			if d > maxd {
+				maxd = d
+			}
+		}
+		slope.V[id] = maxd
+	}
+	slope.Normalize()
+	return slope
+}
+
+// traceRivers follows downhill paths from random high-elevation springs.
+func traceRivers(g *Grid, elev *Raster, count int, r *rng.RNG) []int {
+	if count <= 0 || g.NumCells() == 0 {
+		return nil
+	}
+	riverSet := map[int]bool{}
+	// Candidate springs: top-quartile elevation cells.
+	var springs []int
+	for id := 0; id < g.NumCells(); id++ {
+		if elev.V[id] > 0.7 {
+			springs = append(springs, id)
+		}
+	}
+	if len(springs) == 0 {
+		springs = append(springs, 0)
+	}
+	nbr := make([]int, 0, 8)
+	for k := 0; k < count; k++ {
+		cur := springs[r.Intn(len(springs))]
+		for step := 0; step < g.W+g.H; step++ {
+			riverSet[cur] = true
+			if g.OnBoundary(cur) {
+				break
+			}
+			nbr = g.Neighbors8(cur, nbr[:0])
+			next := -1
+			bestE := elev.V[cur] + 1e-9
+			for _, n := range nbr {
+				// Prefer strictly downhill; small noise breaks plateaus.
+				e := elev.V[n] + 0.002*r.Float64()
+				if e < bestE && !riverSet[n] {
+					bestE = e
+					next = n
+				}
+			}
+			if next < 0 {
+				// Plateau or local pit: pick any non-river neighbor to keep
+				// the river moving toward the boundary.
+				for _, n := range nbr {
+					if !riverSet[n] {
+						next = n
+						break
+					}
+				}
+			}
+			if next < 0 {
+				break
+			}
+			cur = next
+		}
+	}
+	out := make([]int, 0, len(riverSet))
+	for id := range riverSet {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// traceRoads draws straight-line roads between pairs of boundary cells.
+func traceRoads(g *Grid, count int, r *rng.RNG) []int {
+	if count <= 0 {
+		return nil
+	}
+	boundary := BoundaryCells(g)
+	if len(boundary) < 2 {
+		return nil
+	}
+	roadSet := map[int]bool{}
+	for k := 0; k < count; k++ {
+		a := boundary[r.Intn(len(boundary))]
+		b := boundary[r.Intn(len(boundary))]
+		if a == b {
+			continue
+		}
+		ax, ay := g.CellXY(a)
+		bx, by := g.CellXY(b)
+		steps := int(math.Max(math.Abs(float64(bx-ax)), math.Abs(float64(by-ay)))) + 1
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			x := int(math.Round(float64(ax) + t*float64(bx-ax)))
+			y := int(math.Round(float64(ay) + t*float64(by-ay)))
+			if id := g.CellID(x, y); id >= 0 {
+				roadSet[id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(roadSet))
+	for id := range roadSet {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// placeNearBoundary places landmark cells on the boundary ring.
+func placeNearBoundary(g *Grid, count int, r *rng.RNG) []int {
+	boundary := BoundaryCells(g)
+	if count <= 0 || len(boundary) == 0 {
+		return nil
+	}
+	picks := r.SampleWithoutReplacement(len(boundary), count)
+	out := make([]int, 0, len(picks))
+	for _, i := range picks {
+		out = append(out, boundary[i])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// placePosts puts patrol posts on road cells (falling back to boundary
+// cells), spread out by greedy max-min distance.
+func placePosts(g *Grid, roads []int, count int, r *rng.RNG) []int {
+	candidates := roads
+	if len(candidates) == 0 {
+		candidates = BoundaryCells(g)
+	}
+	if count <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	posts := []int{candidates[r.Intn(len(candidates))]}
+	for len(posts) < count {
+		best, bestD := -1, -1.0
+		for _, c := range candidates {
+			minD := math.Inf(1)
+			for _, p := range posts {
+				if d := g.EuclidKM(c, p); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestD {
+				bestD = minD
+				best = c
+			}
+		}
+		if best < 0 || bestD == 0 {
+			break
+		}
+		posts = append(posts, best)
+	}
+	sort.Ints(posts)
+	return posts
+}

@@ -1,0 +1,210 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateParkPresets(t *testing.T) {
+	tests := []struct {
+		cfg       ParkConfig
+		wantCells int
+		wantFeats int // static features (Table I count minus coverage covariate)
+	}{
+		{MFNPConfig(1), 4613, 21},
+		{QENPConfig(1), 2522, 18},
+		{SWSConfig(1), 3750, 20},
+	}
+	for _, tc := range tests {
+		p, err := GeneratePark(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cfg.Name, err)
+		}
+		if got := p.Grid.NumCells(); got != tc.wantCells {
+			t.Errorf("%s: cells = %d want %d", tc.cfg.Name, got, tc.wantCells)
+		}
+		if got := p.NumFeatures(); got != tc.wantFeats {
+			t.Errorf("%s: features = %d want %d", tc.cfg.Name, got, tc.wantFeats)
+		}
+		if len(p.Posts) == 0 {
+			t.Errorf("%s: no patrol posts", tc.cfg.Name)
+		}
+		if len(p.Rivers) == 0 {
+			t.Errorf("%s: no rivers", tc.cfg.Name)
+		}
+	}
+}
+
+func TestGenerateParkDeterministic(t *testing.T) {
+	p1, err := GeneratePark(QENPConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GeneratePark(QENPConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Grid.NumCells() != p2.Grid.NumCells() {
+		t.Fatal("cell counts differ across runs with same seed")
+	}
+	for j := 0; j < p1.NumFeatures(); j++ {
+		a, b := p1.Feature(j), p2.Feature(j)
+		for i := range a.V {
+			if a.V[i] != b.V[i] {
+				t.Fatalf("feature %q differs at cell %d", p1.FeatureNames[j], i)
+			}
+		}
+	}
+	p3, err := GeneratePark(QENPConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	e1, e3 := p1.Elevation, p3.Elevation
+	for i := range e1.V {
+		if i < len(e3.V) && e1.V[i] != e3.V[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different parks")
+	}
+}
+
+func TestParkMaskConnected(t *testing.T) {
+	for _, cfg := range []ParkConfig{MFNPConfig(3), QENPConfig(3), SWSConfig(3)} {
+		p, err := GeneratePark(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.Grid
+		mask := make([]bool, g.W*g.H)
+		for id := 0; id < g.NumCells(); id++ {
+			mask[g.LatticeIndex(id)] = true
+		}
+		if !maskConnected(g.W, g.H, mask) {
+			t.Errorf("%s: park mask is not connected", cfg.Name)
+		}
+	}
+}
+
+func TestParkFeatureVector(t *testing.T) {
+	p, err := GeneratePark(QENPConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.FeatureVector(10, nil)
+	if len(v) != p.NumFeatures() {
+		t.Fatalf("vector length %d want %d", len(v), p.NumFeatures())
+	}
+	for j := range v {
+		if v[j] != p.Feature(j).V[10] {
+			t.Fatal("feature vector does not match rasters")
+		}
+		if math.IsNaN(v[j]) || math.IsInf(v[j], 0) {
+			t.Fatalf("feature %q has non-finite value", p.FeatureNames[j])
+		}
+	}
+	// Reuse the buffer.
+	v2 := p.FeatureVector(11, v)
+	if &v2[0] != &v[0] {
+		t.Fatal("FeatureVector should reuse the provided buffer")
+	}
+}
+
+func TestParkLandmarksInsidePark(t *testing.T) {
+	p, err := GeneratePark(SWSConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Grid.NumCells()
+	for _, set := range [][]int{p.Rivers, p.Roads, p.Villages, p.Posts} {
+		for _, id := range set {
+			if id < 0 || id >= n {
+				t.Fatalf("landmark cell %d out of range", id)
+			}
+		}
+	}
+}
+
+func TestParkDistanceFeaturesFinite(t *testing.T) {
+	p, err := GeneratePark(MFNPConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dist_river", "dist_road", "dist_village", "dist_patrol_post", "dist_boundary"} {
+		r := p.FeatureByName(name)
+		if r == nil {
+			t.Fatalf("missing feature %q", name)
+		}
+		for i, v := range r.V {
+			if math.IsInf(v, 0) || math.IsNaN(v) || v < 0 {
+				t.Fatalf("%s[%d] = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestParkPostsSpread(t *testing.T) {
+	p, err := GeneratePark(MFNPConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Posts) < 2 {
+		t.Skip("need at least 2 posts")
+	}
+	// Posts should be spread out: min pairwise distance above a few km.
+	minD := math.Inf(1)
+	for i := 0; i < len(p.Posts); i++ {
+		for j := i + 1; j < len(p.Posts); j++ {
+			if d := p.Grid.EuclidKM(p.Posts[i], p.Posts[j]); d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 3 {
+		t.Fatalf("posts too close together: min distance %v km", minD)
+	}
+}
+
+func TestGenerateParkErrors(t *testing.T) {
+	if _, err := GeneratePark(ParkConfig{W: 0, H: 5, TargetCells: 1}); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	if _, err := GeneratePark(ParkConfig{W: 3, H: 3, TargetCells: 100}); err == nil {
+		t.Fatal("expected error for target exceeding lattice")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"MFNP", "QENP", "SWS"} {
+		if _, ok := PresetByName(name, 1); !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+	}
+	if _, ok := PresetByName("NOPE", 1); ok {
+		t.Fatal("unknown preset should return false")
+	}
+}
+
+func TestNorthSouthField(t *testing.T) {
+	p, err := GeneratePark(SWSConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNorth, sawSouth := false, false
+	for id := 0; id < p.Grid.NumCells(); id++ {
+		switch p.NorthSouth.V[id] {
+		case 1:
+			sawNorth = true
+		case -1:
+			sawSouth = true
+		default:
+			t.Fatalf("NorthSouth value %v not in {+1,-1}", p.NorthSouth.V[id])
+		}
+	}
+	if !sawNorth || !sawSouth {
+		t.Fatal("park should span both halves")
+	}
+}

@@ -1,0 +1,85 @@
+package geo
+
+// Preset park configurations calibrated to Table I of the paper:
+//
+//	                MFNP    QENP    SWS
+//	features          22      19     21   (static features + 1 coverage covariate)
+//	1×1 km cells    4,613   2,522  3,750
+//
+// The static feature count below is therefore Table I's count minus one,
+// since the dataset layer appends the previous-step patrol-coverage
+// covariate (Section III-B of the paper).
+
+// MFNPConfig returns the Murchison Falls National Park preset: a large,
+// round savanna park with a protected core, 4,613 cells and 22 features.
+func MFNPConfig(seed int64) ParkConfig {
+	return ParkConfig{
+		Name:        "MFNP",
+		Seed:        seed,
+		W:           86,
+		H:           86,
+		TargetCells: 4613,
+		Shape:       ShapeRound,
+		NumRivers:   6,
+		NumRoads:    7,
+		NumVillages: 9,
+		NumPosts:    8,
+		// 11 base features + 10 extra = 21 static; +1 coverage = 22.
+		ExtraFeatures: 10,
+		Seasonal:      false,
+	}
+}
+
+// QENPConfig returns the Queen Elizabeth National Park preset: an elongated
+// park that is easy to access from the boundary, 2,522 cells, 19 features.
+func QENPConfig(seed int64) ParkConfig {
+	return ParkConfig{
+		Name:        "QENP",
+		Seed:        seed,
+		W:           108,
+		H:           40,
+		TargetCells: 2522,
+		Shape:       ShapeElongated,
+		NumRivers:   4,
+		NumRoads:    6,
+		NumVillages: 8,
+		NumPosts:    7,
+		// 11 base + 7 extra = 18 static; +1 coverage = 19.
+		ExtraFeatures: 7,
+		Seasonal:      false,
+	}
+}
+
+// SWSConfig returns the Srepok Wildlife Sanctuary preset: an irregular,
+// densely forested park with strong seasonality, 3,750 cells, 21 features.
+func SWSConfig(seed int64) ParkConfig {
+	return ParkConfig{
+		Name:        "SWS",
+		Seed:        seed,
+		W:           80,
+		H:           78,
+		TargetCells: 3750,
+		Shape:       ShapeIrregular,
+		NumRivers:   8,
+		NumRoads:    4,
+		NumVillages: 6,
+		NumPosts:    6,
+		// 11 base + 9 extra = 20 static; +1 coverage = 21.
+		ExtraFeatures: 9,
+		Seasonal:      true,
+	}
+}
+
+// PresetByName returns the preset config for "MFNP", "QENP" or "SWS",
+// or false if the name is unknown.
+func PresetByName(name string, seed int64) (ParkConfig, bool) {
+	switch name {
+	case "MFNP":
+		return MFNPConfig(seed), true
+	case "QENP":
+		return QENPConfig(seed), true
+	case "SWS":
+		return SWSConfig(seed), true
+	}
+	return ParkConfig{}, false
+}

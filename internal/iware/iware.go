@@ -1,0 +1,360 @@
+// Package iware implements the imperfect-observation-aware ensemble
+// (iWare-E) of Gholami et al. with the three enhancements introduced by the
+// paper (Section IV):
+//
+//  1. Thresholds θ_i are chosen by patrol-effort percentile so each weak
+//     learner trains on a consistent amount of data (the caller supplies the
+//     ladder, typically via dataset.EffortPercentileThresholds).
+//  2. Classifier weights are optimized by k-fold cross-validation minimizing
+//     the log loss of the qualified-weighted ensemble prediction, instead of
+//     equal weighting.
+//  3. Weak learners may be Gaussian-process ensembles, in which case the
+//     model exposes an effort-conditioned predictive variance ν(x, c) used
+//     downstream for robust patrol planning.
+//
+// Construction: weak learner C_i trains on the subset D_i that keeps every
+// positive example but only negatives recorded under patrol effort > θ_i —
+// low-effort negatives are unreliable (the snare may simply not have been
+// found). At prediction time for a planned effort c, exactly the classifiers
+// with θ_i ≤ c are qualified: their filtered training distributions are
+// consistent with what patrolling at effort c can observe. The ensemble
+// output is the weight-normalized average over qualified classifiers, which
+// makes the prediction a monotone step function of effort — the g_v(c)
+// consumed by the patrol planner.
+package iware
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"paws/internal/ml"
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// ErrNoThresholds is returned when Config.Thresholds is empty.
+var ErrNoThresholds = errors.New("iware: no thresholds provided")
+
+// Config controls the ensemble.
+type Config struct {
+	// Thresholds is the ascending effort ladder θ_1 ≤ … ≤ θ_I. The first
+	// threshold should be 0 so at least one classifier is always qualified.
+	Thresholds []float64
+	// WeakLearner builds one untrained weak learner per threshold.
+	WeakLearner ml.Factory
+	// CVFolds enables weight optimization with this many folds (0 or 1
+	// disables optimization and uses uniform weights — the iWare-E baseline
+	// of Gholami et al.).
+	CVFolds int
+	// WeightIters caps the exponentiated-gradient iterations (default 200).
+	WeightIters int
+	// Seed drives fold assignment and weak-learner seeds.
+	Seed int64
+}
+
+// Model is a fitted iWare-E ensemble.
+type Model struct {
+	cfg         Config
+	thresholds  []float64
+	classifiers []ml.Classifier
+	weights     []float64
+}
+
+// Fit trains the ensemble on features X, labels y and per-point patrol
+// efforts (the efforts are used for filtering and qualification only; they
+// are never model inputs).
+func Fit(X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) {
+	if len(cfg.Thresholds) == 0 {
+		return nil, ErrNoThresholds
+	}
+	if cfg.WeakLearner == nil {
+		return nil, errors.New("iware: nil weak learner factory")
+	}
+	if err := ml.CheckXY(X, y); err != nil {
+		return nil, err
+	}
+	if len(efforts) != len(X) {
+		return nil, fmt.Errorf("iware: %d efforts for %d rows", len(efforts), len(X))
+	}
+	thresholds := append([]float64(nil), cfg.Thresholds...)
+	sort.Float64s(thresholds)
+	if cfg.WeightIters <= 0 {
+		cfg.WeightIters = 200
+	}
+	m := &Model{cfg: cfg, thresholds: thresholds}
+
+	// Optimize weights by cross-validation before the final refit.
+	if cfg.CVFolds > 1 {
+		w, err := optimizeWeights(X, y, efforts, thresholds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.weights = w
+	} else {
+		m.weights = uniformWeights(len(thresholds))
+	}
+
+	// Final refit of every weak learner on the full (filtered) training data.
+	r := rng.New(cfg.Seed)
+	for i, th := range thresholds {
+		idx := filterIndices(y, efforts, th)
+		fx, fy := ml.Subset(X, y, idx)
+		c := cfg.WeakLearner(r.Int63())
+		if err := fitPossiblyDegenerate(c, fx, fy); err != nil {
+			return nil, fmt.Errorf("iware: classifier %d (θ=%.3f): %w", i, th, err)
+		}
+		m.classifiers = append(m.classifiers, c)
+	}
+	return m, nil
+}
+
+// filterIndices implements the iWare-E data filter: keep all positives, and
+// keep negatives only when their patrol effort exceeds the threshold.
+// Discarding only negatives is the key imbalance-aware insight of iWare-E.
+func filterIndices(y []int, efforts []float64, threshold float64) []int {
+	var idx []int
+	for i := range y {
+		if y[i] == 1 || efforts[i] > threshold {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// fitPossiblyDegenerate trains c, substituting the empirical base rate when
+// the filtered subset is empty or single-class and the learner cannot cope.
+func fitPossiblyDegenerate(c ml.Classifier, X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return errors.New("empty filtered training set")
+	}
+	return c.Fit(X, y)
+}
+
+// Thresholds returns the sorted threshold ladder.
+func (m *Model) Thresholds() []float64 { return m.thresholds }
+
+// Weights returns the classifier weights (simplex).
+func (m *Model) Weights() []float64 { return m.weights }
+
+// Classifiers exposes the fitted weak learners (for diagnostics).
+func (m *Model) Classifiers() []ml.Classifier { return m.classifiers }
+
+// qualifiedUpTo returns the number of leading classifiers qualified for a
+// planned effort c: those with θ_i ≤ c. At least one classifier is always
+// qualified so predictions remain defined at c = 0.
+func (m *Model) qualifiedUpTo(c float64) int {
+	n := sort.SearchFloat64s(m.thresholds, math.Nextafter(c, math.Inf(1)))
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// PredictForEffort returns the ensemble probability that patrolling cell x
+// with effort c yields a detected attack: the weight-normalized average of
+// the qualified classifiers.
+func (m *Model) PredictForEffort(x []float64, c float64) float64 {
+	n := m.qualifiedUpTo(c)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		w := m.weights[i]
+		if w <= 0 {
+			continue
+		}
+		num += w * m.classifiers[i].PredictProba(x)
+		den += w
+	}
+	if den == 0 {
+		// All qualified weights zero: fall back to uniform over qualified.
+		for i := 0; i < n; i++ {
+			num += m.classifiers[i].PredictProba(x)
+		}
+		return num / float64(n)
+	}
+	return num / den
+}
+
+// PredictWithVarianceForEffort returns the ensemble probability and the
+// aggregated uncertainty: the weight-normalized average of the qualified
+// classifiers' variances (intrinsic for GP weak learners, between-member for
+// bagged trees). Weak learners without uncertainty contribute zero variance.
+func (m *Model) PredictWithVarianceForEffort(x []float64, c float64) (p, variance float64) {
+	n := m.qualifiedUpTo(c)
+	var num, den, vnum float64
+	for i := 0; i < n; i++ {
+		w := m.weights[i]
+		if w <= 0 {
+			continue
+		}
+		var pi, vi float64
+		if uc, ok := m.classifiers[i].(ml.UncertaintyClassifier); ok {
+			pi, vi = uc.PredictWithVariance(x)
+		} else {
+			pi = m.classifiers[i].PredictProba(x)
+		}
+		num += w * pi
+		vnum += w * vi
+		den += w
+	}
+	if den == 0 {
+		return m.PredictForEffort(x, c), 0
+	}
+	return num / den, vnum / den
+}
+
+// PredictPoints scores test points at their recorded efforts — the Table II
+// evaluation mode.
+func (m *Model) PredictPoints(X [][]float64, efforts []float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.PredictForEffort(x, efforts[i])
+	}
+	return out
+}
+
+// uniformWeights returns the equal-weight simplex point.
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// optimizeWeights runs the paper's enhancement: k-fold CV predictions from
+// every weak learner, then exponentiated-gradient descent on the simplex
+// minimizing the log loss of the qualified-weighted ensemble output.
+func optimizeWeights(X [][]float64, y []int, efforts []float64, thresholds []float64, cfg Config) ([]float64, error) {
+	n := len(X)
+	I := len(thresholds)
+	r := rng.New(cfg.Seed)
+	folds := ml.KFold(n, cfg.CVFolds, r.Split("folds"))
+
+	// preds[v][i]: classifier i's CV prediction for validation point v.
+	preds := make([][]float64, n)
+	for v := range preds {
+		preds[v] = make([]float64, I)
+	}
+	seedRNG := r.Split("cv-seeds")
+	for _, valIdx := range folds {
+		trIdx := ml.TrainIndices(n, valIdx)
+		trX, trY := ml.Subset(X, y, trIdx)
+		trEff := make([]float64, len(trIdx))
+		for i, j := range trIdx {
+			trEff[i] = efforts[j]
+		}
+		for i, th := range thresholds {
+			fIdx := filterLocal(trY, trEff, th)
+			if len(fIdx) == 0 {
+				for _, v := range valIdx {
+					preds[v][i] = 0.5
+				}
+				continue
+			}
+			fx, fy := ml.Subset(trX, trY, fIdx)
+			c := cfg.WeakLearner(seedRNG.Int63())
+			if err := c.Fit(fx, fy); err != nil {
+				return nil, fmt.Errorf("iware: CV classifier %d: %w", i, err)
+			}
+			for _, v := range valIdx {
+				preds[v][i] = c.PredictProba(X[v])
+			}
+		}
+	}
+
+	// Qualification mask by each point's recorded effort.
+	qual := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		qual[v] = make([]bool, I)
+		nq := sort.SearchFloat64s(thresholds, math.Nextafter(efforts[v], math.Inf(1)))
+		if nq == 0 {
+			nq = 1
+		}
+		for i := 0; i < nq; i++ {
+			qual[v][i] = true
+		}
+	}
+	return egMinimizeLogLoss(preds, qual, y, cfg.WeightIters), nil
+}
+
+func filterLocal(y []int, efforts []float64, threshold float64) []int {
+	var idx []int
+	for i := range y {
+		if y[i] == 1 || efforts[i] > threshold {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// egMinimizeLogLoss runs exponentiated-gradient descent over the simplex.
+func egMinimizeLogLoss(preds [][]float64, qual [][]bool, y []int, iters int) []float64 {
+	n := len(preds)
+	if n == 0 {
+		return uniformWeights(1)
+	}
+	I := len(preds[0])
+	w := uniformWeights(I)
+	const eta = 0.5
+	const eps = 1e-9
+	grad := make([]float64, I)
+	for it := 0; it < iters; it++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			var num, den float64
+			for i := 0; i < I; i++ {
+				if qual[v][i] {
+					num += w[i] * preds[v][i]
+					den += w[i]
+				}
+			}
+			if den < eps {
+				continue
+			}
+			p := stats.Clamp(num/den, 1e-7, 1-1e-7)
+			// d(logloss)/dp = (p − y) / (p(1−p)).
+			dldp := (p - float64(y[v])) / (p * (1 - p))
+			for i := 0; i < I; i++ {
+				if qual[v][i] {
+					grad[i] += dldp * (preds[v][i] - p) / den
+				}
+			}
+		}
+		// Normalize gradient scale and take the mirror-descent step.
+		maxg := 0.0
+		for _, g := range grad {
+			if a := math.Abs(g); a > maxg {
+				maxg = a
+			}
+		}
+		if maxg < 1e-12 {
+			break
+		}
+		var sum float64
+		for i := range w {
+			w[i] *= math.Exp(-eta * grad[i] / maxg)
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return w
+}
+
+// SquashVariance maps a non-negative variance to [0, 1) with the logistic
+// squashing the paper applies before weighting uncertainty in the planner
+// objective (Section VI-C): squash(v) = 2σ(v/scale) − 1.
+func SquashVariance(v, scale float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return 2*stats.Logistic(v/scale) - 1
+}

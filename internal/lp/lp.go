@@ -1,0 +1,601 @@
+// Package lp implements a bounded-variable revised-simplex linear-program
+// solver. It is the optimization substrate beneath the patrol-planning MILP
+// (problem P in Section VI of the paper), standing in for the commercial
+// solver the authors used.
+//
+// Problems are stated as
+//
+//	maximize    cᵀx
+//	subject to  a_iᵀx {≤,=,≥} b_i
+//	            lo ≤ x ≤ hi        (lo finite; hi may be +Inf)
+//
+// The implementation is a two-phase primal simplex with an explicit dense
+// basis inverse, Dantzig pricing with a Bland anti-cycling fallback, and
+// periodic refactorization.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is a_iᵀx ≤ b_i.
+	LE Op = iota
+	// EQ is a_iᵀx = b_i.
+	EQ
+	// GE is a_iᵀx ≥ b_i.
+	GE
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+	// IterLimit means the iteration cap was reached.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// ErrBadModel is returned for structurally invalid problems.
+var ErrBadModel = errors.New("lp: invalid model")
+
+// entry is one nonzero of a constraint row.
+type entry struct {
+	col int
+	val float64
+}
+
+type row struct {
+	entries []entry
+	op      Op
+	rhs     float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	obj  []float64
+	lo   []float64
+	hi   []float64
+	rows []row
+}
+
+// NewProblem returns an empty maximization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a variable with the given objective coefficient and
+// bounds, returning its index. The lower bound must be finite.
+func (p *Problem) AddVariable(obj, lo, hi float64) int {
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	return len(p.obj) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective overwrites the objective coefficient of variable j.
+func (p *Problem) SetObjective(j int, c float64) { p.obj[j] = c }
+
+// SetBounds overwrites the bounds of variable j.
+func (p *Problem) SetBounds(j int, lo, hi float64) { p.lo[j], p.hi[j] = lo, hi }
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
+
+// AddConstraint appends the constraint Σ coef[k]·x[idx[k]] op rhs.
+// Duplicate indices are accumulated.
+func (p *Problem) AddConstraint(idx []int, coef []float64, op Op, rhs float64) error {
+	if len(idx) != len(coef) {
+		return fmt.Errorf("%w: %d indices vs %d coefficients", ErrBadModel, len(idx), len(coef))
+	}
+	merged := map[int]float64{}
+	for k, j := range idx {
+		if j < 0 || j >= len(p.obj) {
+			return fmt.Errorf("%w: variable %d out of range", ErrBadModel, j)
+		}
+		merged[j] += coef[k]
+	}
+	r := row{op: op, rhs: rhs}
+	for j := 0; j < len(p.obj); j++ {
+		if v, ok := merged[j]; ok && v != 0 {
+			r.entries = append(r.entries, entry{j, v})
+		}
+	}
+	p.rows = append(p.rows, r)
+	return nil
+}
+
+// Clone deep-copies the problem (used by branch & bound to tighten bounds).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		obj: append([]float64(nil), p.obj...),
+		lo:  append([]float64(nil), p.lo...),
+		hi:  append([]float64(nil), p.hi...),
+	}
+	q.rows = make([]row, len(p.rows))
+	for i, r := range p.rows {
+		q.rows[i] = row{op: r.op, rhs: r.rhs, entries: append([]entry(nil), r.entries...)}
+	}
+	return q
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X holds the values of the original (caller-added) variables.
+	X []float64
+	// Obj is the objective value cᵀX.
+	Obj float64
+	// Iterations is the total simplex iterations used.
+	Iterations int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter caps total simplex iterations (default 50_000).
+	MaxIter int
+}
+
+const (
+	feasTol  = 1e-7
+	optTol   = 1e-7
+	pivotTol = 1e-9
+)
+
+// Solve runs the two-phase simplex.
+func Solve(p *Problem, opts Options) (Solution, error) {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50000
+	}
+	n0 := len(p.obj)
+	if n0 == 0 {
+		return Solution{Status: Optimal, X: nil, Obj: 0}, nil
+	}
+	for j, lo := range p.lo {
+		if math.IsInf(lo, -1) || math.IsNaN(lo) {
+			return Solution{}, fmt.Errorf("%w: variable %d has non-finite lower bound", ErrBadModel, j)
+		}
+		if p.hi[j] < lo {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+	s := newSimplex(p)
+	sol := s.run(opts.MaxIter)
+	if sol.Status == Optimal || sol.Status == IterLimit {
+		sol.X = make([]float64, n0)
+		copy(sol.X, s.x[:n0])
+		var obj float64
+		for j := 0; j < n0; j++ {
+			obj += p.obj[j] * sol.X[j]
+		}
+		sol.Obj = obj
+	}
+	return sol, nil
+}
+
+// simplex is the working state: the problem in computational standard form
+// (equality rows with slack columns appended, then artificial columns).
+type simplex struct {
+	m, n int // constraints, structural+slack columns (artificials beyond n)
+	cols [][]entry
+	lo   []float64
+	hi   []float64
+	obj  []float64 // phase-2 objective over all columns
+	rhs  []float64
+
+	nArt    int
+	basis   []int // basis[i] = column basic in row i
+	inBasis []int // inBasis[j] = row index or -1
+	atUpper []bool
+	x       []float64
+	binv    [][]float64
+
+	iters int
+}
+
+func newSimplex(p *Problem) *simplex {
+	m := len(p.rows)
+	s := &simplex{m: m}
+	// Structural columns.
+	n0 := len(p.obj)
+	s.cols = make([][]entry, n0, n0+m)
+	s.lo = append([]float64(nil), p.lo...)
+	s.hi = append([]float64(nil), p.hi...)
+	s.obj = append([]float64(nil), p.obj...)
+	s.rhs = make([]float64, m)
+	for i, r := range p.rows {
+		s.rhs[i] = r.rhs
+		for _, e := range r.entries {
+			s.cols[e.col] = append(s.cols[e.col], entry{i, e.val})
+		}
+	}
+	// Slack columns.
+	for i, r := range p.rows {
+		switch r.op {
+		case LE:
+			j := s.addColumn(0, 0, math.Inf(1))
+			s.cols[j] = append(s.cols[j], entry{i, 1})
+		case GE:
+			j := s.addColumn(0, 0, math.Inf(1))
+			s.cols[j] = append(s.cols[j], entry{i, -1})
+		}
+	}
+	s.n = len(s.cols)
+	return s
+}
+
+func (s *simplex) addColumn(obj, lo, hi float64) int {
+	s.cols = append(s.cols, nil)
+	s.obj = append(s.obj, obj)
+	s.lo = append(s.lo, lo)
+	s.hi = append(s.hi, hi)
+	return len(s.cols) - 1
+}
+
+// run executes phase 1 then phase 2.
+func (s *simplex) run(maxIter int) Solution {
+	// Initial nonbasic values: at lower bound (finite by construction).
+	s.x = make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		s.x[j] = s.lo[j]
+	}
+	s.atUpper = make([]bool, s.n)
+	// Residuals decide artificial signs.
+	resid := make([]float64, s.m)
+	copy(resid, s.rhs)
+	for j := 0; j < s.n; j++ {
+		if s.x[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.row()] -= e.val * s.x[j]
+		}
+	}
+	// Artificial columns form the initial basis. Each artificial carries the
+	// sign of its row's residual, so the initial basis matrix is diag(sign)
+	// and its inverse is the same diagonal.
+	s.basis = make([]int, s.m)
+	phase1Obj := make([]float64, s.n, s.n+s.m)
+	signs := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		sign := 1.0
+		if resid[i] < 0 {
+			sign = -1
+		}
+		signs[i] = sign
+		j := s.addColumn(0, 0, math.Inf(1))
+		s.cols[j] = append(s.cols[j], entry{i, sign})
+		phase1Obj = append(phase1Obj, -1) // maximize −Σ artificials
+		s.basis[i] = j
+		s.x = append(s.x, math.Abs(resid[i]))
+		s.atUpper = append(s.atUpper, false)
+	}
+	s.nArt = s.m
+	s.inBasis = make([]int, len(s.cols))
+	for j := range s.inBasis {
+		s.inBasis[j] = -1
+	}
+	for i, j := range s.basis {
+		s.inBasis[j] = i
+	}
+	s.binv = identity(s.m)
+	for i := 0; i < s.m; i++ {
+		s.binv[i][i] = signs[i]
+	}
+
+	// Phase 1.
+	st := s.iterate(phase1Obj, maxIter, true)
+	if st == IterLimit {
+		return Solution{Status: IterLimit, Iterations: s.iters}
+	}
+	var infeas float64
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] >= s.n { // artificial basic
+			infeas += s.x[s.basis[i]]
+		}
+	}
+	if infeas > 1e-6 {
+		return Solution{Status: Infeasible, Iterations: s.iters}
+	}
+	// Pin artificials to zero for phase 2.
+	for j := s.n; j < len(s.cols); j++ {
+		s.hi[j] = 0
+	}
+	// Phase 2 objective over all columns (artificials at 0).
+	obj2 := make([]float64, len(s.cols))
+	copy(obj2, s.obj)
+	st = s.iterate(obj2, maxIter, false)
+	return Solution{Status: st, Iterations: s.iters}
+}
+
+// iterate runs primal simplex iterations with the given objective until
+// optimality, unboundedness, or the iteration cap. Degenerate stalls (long
+// runs of zero-step pivots, common on flow polytopes) trigger a temporary
+// switch to Bland's rule, which guarantees escape from any cycle.
+func (s *simplex) iterate(obj []float64, maxIter int, phase1 bool) Status {
+	nAll := len(s.cols)
+	sinceRefactor := 0
+	consecDegen := 0
+	for {
+		if s.iters >= maxIter {
+			return IterLimit
+		}
+		s.iters++
+		sinceRefactor++
+		if sinceRefactor > 100 {
+			if err := s.refactorize(); err != nil {
+				return IterLimit
+			}
+			sinceRefactor = 0
+		}
+		useBland := consecDegen > 40
+
+		// y = c_B B⁻¹.
+		y := make([]float64, s.m)
+		for i := 0; i < s.m; i++ {
+			cb := obj[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			for k := 0; k < s.m; k++ {
+				y[k] += cb * s.binv[i][k]
+			}
+		}
+		// Pricing.
+		enter := -1
+		var enterDir float64 // +1 entering increases, −1 decreases
+		best := 0.0
+		for j := 0; j < nAll; j++ {
+			if s.inBasis[j] >= 0 {
+				continue
+			}
+			if s.lo[j] == s.hi[j] {
+				continue // fixed
+			}
+			d := obj[j]
+			for _, e := range s.cols[j] {
+				d -= y[e.row()] * e.val
+			}
+			var score float64
+			var dir float64
+			if !s.atUpper[j] && d > optTol {
+				score, dir = d, 1
+			} else if s.atUpper[j] && d < -optTol {
+				score, dir = -d, -1
+			} else {
+				continue
+			}
+			if useBland {
+				enter, enterDir = j, dir
+				break
+			}
+			if score > best {
+				best = score
+				enter, enterDir = j, dir
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// w = B⁻¹ A_enter.
+		w := make([]float64, s.m)
+		for _, e := range s.cols[enter] {
+			for i := 0; i < s.m; i++ {
+				if v := s.binv[i][e.row()]; v != 0 {
+					w[i] += v * e.val
+				}
+			}
+		}
+
+		// Ratio test: x_enter moves by enterDir·t, basic x_Bi -= enterDir·w_i·t.
+		// Ties at the minimum ratio are broken toward the largest pivot
+		// magnitude (Harris-style), which suppresses degenerate stalls.
+		tMax := s.hi[enter] - s.lo[enter] // bound-flip distance
+		leave := -1
+		leaveToUpper := false
+		bestPiv := 0.0
+		for i := 0; i < s.m; i++ {
+			delta := -enterDir * w[i]
+			if math.Abs(delta) < pivotTol {
+				continue
+			}
+			bj := s.basis[i]
+			var t float64
+			var toUpper bool
+			if delta > 0 {
+				if math.IsInf(s.hi[bj], 1) {
+					continue
+				}
+				t = (s.hi[bj] - s.x[bj]) / delta
+				toUpper = true
+			} else {
+				t = (s.lo[bj] - s.x[bj]) / delta
+				toUpper = false
+			}
+			if t < -feasTol {
+				t = 0
+			}
+			piv := math.Abs(delta)
+			better := t < tMax-1e-9 ||
+				(t < tMax+1e-9 && leave >= 0 && piv > bestPiv)
+			if better {
+				tMax = t
+				leave = i
+				leaveToUpper = toUpper
+				bestPiv = piv
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			if phase1 {
+				// Phase-1 objective is bounded; numerical trouble.
+				return IterLimit
+			}
+			return Unbounded
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax > 1e-9 {
+			consecDegen = 0
+		} else {
+			consecDegen++
+		}
+
+		// Apply the step.
+		s.x[enter] += enterDir * tMax
+		for i := 0; i < s.m; i++ {
+			s.x[s.basis[i]] -= enterDir * w[i] * tMax
+		}
+		if leave < 0 {
+			// Bound flip: entering variable moved to its opposite bound.
+			s.atUpper[enter] = enterDir > 0
+			continue
+		}
+		// Pivot: entering replaces the leaving basic variable.
+		out := s.basis[leave]
+		s.x[out] = s.lo[out]
+		s.atUpper[out] = false
+		if leaveToUpper {
+			s.x[out] = s.hi[out]
+			s.atUpper[out] = true
+		}
+		s.basis[leave] = enter
+		s.inBasis[out] = -1
+		s.inBasis[enter] = leave
+		// Elementary update of B⁻¹.
+		piv := w[leave]
+		if math.Abs(piv) < pivotTol {
+			if err := s.refactorize(); err != nil {
+				return IterLimit
+			}
+			continue
+		}
+		inv := 1 / piv
+		rowL := s.binv[leave]
+		for k := 0; k < s.m; k++ {
+			rowL[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == leave || w[i] == 0 {
+				continue
+			}
+			f := w[i]
+			ri := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				ri[k] -= f * rowL[k]
+			}
+		}
+	}
+}
+
+// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan and
+// recomputes basic variable values from the nonbasic ones.
+func (s *simplex) refactorize() error {
+	m := s.m
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, 2*m)
+	}
+	for i, j := range s.basis {
+		for _, e := range s.cols[j] {
+			a[e.row()][i] = e.val
+		}
+	}
+	for i := 0; i < m; i++ {
+		a[i][m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p := c
+		for i := c + 1; i < m; i++ {
+			if math.Abs(a[i][c]) > math.Abs(a[p][c]) {
+				p = i
+			}
+		}
+		if math.Abs(a[p][c]) < 1e-12 {
+			return errors.New("lp: singular basis")
+		}
+		a[c], a[p] = a[p], a[c]
+		inv := 1 / a[c][c]
+		for k := c; k < 2*m; k++ {
+			a[c][k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == c || a[i][c] == 0 {
+				continue
+			}
+			f := a[i][c]
+			for k := c; k < 2*m; k++ {
+				a[i][k] -= f * a[c][k]
+			}
+		}
+	}
+	// binv maps: column j basic in row i means B column i is A_{basis[i]};
+	// the inverse rows correspond to basis positions.
+	for i := 0; i < m; i++ {
+		for k := 0; k < m; k++ {
+			s.binv[i][k] = a[i][m+k]
+		}
+	}
+	// Recompute basic values: x_B = B⁻¹ (b − N x_N).
+	resid := make([]float64, m)
+	copy(resid, s.rhs)
+	for j := 0; j < len(s.cols); j++ {
+		if s.inBasis[j] >= 0 || s.x[j] == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			resid[e.row()] -= e.val * s.x[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		var v float64
+		for k := 0; k < m; k++ {
+			v += s.binv[i][k] * resid[k]
+		}
+		s.x[s.basis[i]] = v
+	}
+	return nil
+}
+
+func identity(m int) [][]float64 {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		a[i][i] = 1
+	}
+	return a
+}
+
+// row accessor for entry when used in column-major storage: the col field
+// holds the row index there.
+func (e entry) row() int { return e.col }

@@ -1,0 +1,186 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v want 0", got)
+	}
+}
+
+func TestNewDenseDataPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched data length")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewDense(2, 2)
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view into the matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v want [6 15]", y)
+	}
+}
+
+func TestTMulVec(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := m.TMulVec([]float64{1, 2})
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("TMulVec = %v want %v", y, want)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data()[i] != v {
+			t.Fatalf("Mul = %v want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := Transpose(a)
+	r, c := tr.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("Transpose dims = %d,%d want 3,2", r, c)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("Transpose values wrong")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		a := NewDense(rows, cols)
+		for i := range a.Data() {
+			a.Data()[i] = r.NormFloat64()
+		}
+		b := Transpose(Transpose(a))
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	dst := []float64{1, 2}
+	AddScaled(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Fatalf("AddScaled = %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 10.5 || dst[1] != 21 {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := 1 + r.Intn(5)
+		a := NewDense(n, m)
+		for i := range a.Data() {
+			a.Data()[i] = r.NormFloat64()
+		}
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		xm := NewDenseData(m, 1, append([]float64(nil), x...))
+		y1 := a.MulVec(x)
+		y2 := Mul(a, xm)
+		for i := 0; i < n; i++ {
+			if !almostEq(y1[i], y2.At(i, 0), 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

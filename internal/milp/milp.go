@@ -1,0 +1,383 @@
+// Package milp implements a branch-and-bound mixed-integer solver on top of
+// the bounded-variable simplex in internal/lp, plus the piecewise-linear
+// (PWL) encodings the patrol planner needs to express black-box machine
+// learning predictions inside problem (P) of Section VI.
+//
+// The solver handles maximization problems with binary/integer variables,
+// using best-bound node selection, most-fractional branching, and an
+// LP-guided rounding dive that supplies early incumbents. Concave PWL
+// functions under maximization need no integer variables at all; the
+// non-concave case uses the lambda method with segment-activation binaries.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"paws/internal/lp"
+)
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps explored nodes (default 10_000).
+	MaxNodes int
+	// TimeLimit caps wall time (0 = none).
+	TimeLimit time.Duration
+	// RelGap stops when (bound−incumbent)/|incumbent| falls below this
+	// (default 1e-6).
+	RelGap float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// LPMaxIter caps simplex iterations per node LP.
+	LPMaxIter int
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status lp.Status
+	X      []float64
+	Obj    float64
+	// Bound is the best remaining upper bound (== Obj at proven optimality).
+	Bound float64
+	// Nodes is the number of explored B&B nodes.
+	Nodes int
+	// Gap is the final relative optimality gap.
+	Gap float64
+}
+
+// ErrNoIncumbent is returned when the search ends without any feasible
+// integer solution.
+var ErrNoIncumbent = errors.New("milp: no feasible integer solution found")
+
+type node struct {
+	lo, hi map[int]float64 // bound overrides
+	bound  float64         // parent LP bound
+	depth  int
+}
+
+// Solve maximizes the problem with the listed variables required integral.
+func Solve(p *lp.Problem, intVars []int, opts Options) (Result, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 10000
+	}
+	if opts.RelGap <= 0 {
+		opts.RelGap = 1e-6
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	intSet := make(map[int]bool, len(intVars))
+	for _, j := range intVars {
+		if j < 0 || j >= p.NumVariables() {
+			return Result{}, fmt.Errorf("milp: integer variable %d out of range", j)
+		}
+		intSet[j] = true
+	}
+
+	solveNode := func(nd *node) (lp.Solution, error) {
+		q := p.Clone()
+		for j, v := range nd.lo {
+			lo, hi := q.Bounds(j)
+			if v > lo {
+				lo = v
+			}
+			q.SetBounds(j, lo, hi)
+		}
+		for j, v := range nd.hi {
+			lo, hi := q.Bounds(j)
+			if v < hi {
+				hi = v
+			}
+			q.SetBounds(j, lo, hi)
+		}
+		return lp.Solve(q, lp.Options{MaxIter: opts.LPMaxIter})
+	}
+
+	root := &node{lo: map[int]float64{}, hi: map[int]float64{}, bound: math.Inf(1)}
+	res := Result{Status: lp.Infeasible, Obj: math.Inf(-1), Bound: math.Inf(1)}
+	var best []float64
+	bestObj := math.Inf(-1)
+	haveIncumbent := false
+
+	// Node selection: depth-first dives until the first incumbent is found
+	// (children are pushed so the LP-suggested branch is explored first),
+	// then best-bound to close the gap. Pure best-bound can exhaust the node
+	// budget without ever reaching an integral leaf on instances with many
+	// SOS2 binaries.
+	open := []*node{root}
+	for len(open) > 0 {
+		if res.Nodes >= opts.MaxNodes {
+			res.Status = lp.IterLimit
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Status = lp.IterLimit
+			break
+		}
+		var nd *node
+		if !haveIncumbent {
+			nd = open[len(open)-1]
+			open = open[:len(open)-1]
+		} else {
+			bi := 0
+			for i := 1; i < len(open); i++ {
+				if open[i].bound > open[bi].bound {
+					bi = i
+				}
+			}
+			nd = open[bi]
+			open[bi] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+
+		if haveIncumbent && nd.bound <= bestObj+math.Abs(bestObj)*opts.RelGap {
+			continue
+		}
+		res.Nodes++
+		sol, err := solveNode(nd)
+		if err != nil {
+			return res, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return Result{Status: lp.Unbounded, Nodes: res.Nodes}, nil
+		case lp.IterLimit:
+			continue // treat as prunable; conservative
+		}
+		if haveIncumbent && sol.Obj <= bestObj+math.Abs(bestObj)*opts.RelGap {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		bestFrac := opts.IntTol
+		for j := range intSet {
+			f := frac(sol.X[j])
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			if sol.Obj > bestObj {
+				bestObj = sol.Obj
+				best = append([]float64(nil), sol.X...)
+				haveIncumbent = true
+			}
+			continue
+		}
+		v := sol.X[branch]
+		down := &node{lo: cloneMap(nd.lo), hi: cloneMap(nd.hi), bound: sol.Obj, depth: nd.depth + 1}
+		down.hi[branch] = math.Floor(v)
+		up := &node{lo: cloneMap(nd.lo), hi: cloneMap(nd.hi), bound: sol.Obj, depth: nd.depth + 1}
+		up.lo[branch] = math.Ceil(v)
+		// Push so the LP-suggested side is popped first during DFS dives.
+		if v-math.Floor(v) >= 0.5 {
+			open = append(open, down, up)
+		} else {
+			open = append(open, up, down)
+		}
+	}
+
+	if !haveIncumbent {
+		if res.Status != lp.IterLimit {
+			res.Status = lp.Infeasible
+		}
+		return res, ErrNoIncumbent
+	}
+	res.X = best
+	res.Obj = bestObj
+	// Remaining bound.
+	remBound := bestObj
+	for _, nd := range open {
+		if nd.bound > remBound {
+			remBound = nd.bound
+		}
+	}
+	res.Bound = remBound
+	if bestObj != 0 {
+		res.Gap = (remBound - bestObj) / math.Abs(bestObj)
+	} else {
+		res.Gap = remBound - bestObj
+	}
+	if res.Status != lp.IterLimit {
+		res.Status = lp.Optimal
+	}
+	return res, nil
+}
+
+func frac(v float64) float64 {
+	f := v - math.Floor(v)
+	return math.Min(f, 1-f)
+}
+
+func cloneMap(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// PWL describes a piecewise-linear function through breakpoints (Xs, Ys),
+// with Xs strictly increasing.
+type PWL struct {
+	Xs, Ys []float64
+}
+
+// NewPWL validates and constructs a PWL function.
+func NewPWL(xs, ys []float64) (PWL, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PWL{}, fmt.Errorf("milp: PWL needs ≥2 matched breakpoints, got %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return PWL{}, fmt.Errorf("milp: PWL breakpoints must be strictly increasing at %d", i)
+		}
+	}
+	return PWL{Xs: append([]float64(nil), xs...), Ys: append([]float64(nil), ys...)}, nil
+}
+
+// Eval linearly interpolates the PWL at x (clamped to the breakpoint range).
+func (f PWL) Eval(x float64) float64 {
+	xs, ys := f.Xs, f.Ys
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[len(xs)-1] {
+		return ys[len(ys)-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if xs[i] == x {
+		return ys[i]
+	}
+	t := (x - xs[i-1]) / (xs[i] - xs[i-1])
+	return ys[i-1]*(1-t) + ys[i]*t
+}
+
+// IsConcave reports whether the PWL has non-increasing slopes (within tol),
+// in which case maximizing it needs no binaries.
+func (f PWL) IsConcave(tol float64) bool {
+	prev := math.Inf(1)
+	for i := 1; i < len(f.Xs); i++ {
+		s := (f.Ys[i] - f.Ys[i-1]) / (f.Xs[i] - f.Xs[i-1])
+		if s > prev+tol {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// AddToProblem encodes y = f(x) into the problem with the lambda method:
+//
+//	x = Σ λ_k·Xs_k,  y = Σ λ_k·Ys_k,  Σ λ_k = 1,  λ ≥ 0,
+//
+// and, unless the function is concave (and the objective maximizes y),
+// segment-activation binaries z_s with Σ z_s = 1 and λ_k ≤ z_{k-1} + z_k
+// enforcing SOS2 adjacency. It returns the y variable index and the binary
+// variable indices (empty for the concave case).
+//
+// objCoef is the objective coefficient placed directly on y.
+func (f PWL) AddToProblem(p *lp.Problem, xVar int, objCoef float64, forceBinaries bool) (yVar int, binaries []int, err error) {
+	k := len(f.Xs)
+	lambdas := make([]int, k)
+	for i := 0; i < k; i++ {
+		lambdas[i] = p.AddVariable(0, 0, 1)
+	}
+	yVar = p.AddVariable(objCoef, minOf(f.Ys), maxOf(f.Ys))
+	// Σ λ = 1.
+	ones := make([]float64, k)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := p.AddConstraint(lambdas, ones, lp.EQ, 1); err != nil {
+		return 0, nil, err
+	}
+	// x − Σ λ Xs = 0.
+	idx := append([]int{xVar}, lambdas...)
+	coef := make([]float64, 0, k+1)
+	coef = append(coef, 1)
+	for _, xv := range f.Xs {
+		coef = append(coef, -xv)
+	}
+	if err := p.AddConstraint(idx, coef, lp.EQ, 0); err != nil {
+		return 0, nil, err
+	}
+	// y − Σ λ Ys = 0.
+	idx2 := append([]int{yVar}, lambdas...)
+	coef2 := make([]float64, 0, k+1)
+	coef2 = append(coef2, 1)
+	for _, yv := range f.Ys {
+		coef2 = append(coef2, -yv)
+	}
+	if err := p.AddConstraint(idx2, coef2, lp.EQ, 0); err != nil {
+		return 0, nil, err
+	}
+	if !forceBinaries && objCoef >= 0 && f.IsConcave(1e-9) {
+		return yVar, nil, nil
+	}
+	// Segment binaries: z_s for segments s = 0..k−2.
+	segs := k - 1
+	zs := make([]int, segs)
+	for s := 0; s < segs; s++ {
+		zs[s] = p.AddVariable(0, 0, 1)
+	}
+	onesZ := make([]float64, segs)
+	for i := range onesZ {
+		onesZ[i] = 1
+	}
+	if err := p.AddConstraint(zs, onesZ, lp.EQ, 1); err != nil {
+		return 0, nil, err
+	}
+	// λ_k ≤ z_{k−1} + z_k (boundary cases use the single adjacent segment).
+	for i := 0; i < k; i++ {
+		var zi []int
+		if i > 0 {
+			zi = append(zi, zs[i-1])
+		}
+		if i < segs {
+			zi = append(zi, zs[i])
+		}
+		idx := append([]int{lambdas[i]}, zi...)
+		coef := make([]float64, 0, len(zi)+1)
+		coef = append(coef, 1)
+		for range zi {
+			coef = append(coef, -1)
+		}
+		if err := p.AddConstraint(idx, coef, lp.LE, 0); err != nil {
+			return 0, nil, err
+		}
+	}
+	return yVar, zs, nil
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

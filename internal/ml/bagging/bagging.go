@@ -1,0 +1,259 @@
+// Package bagging implements bootstrap-aggregated ensembles, including the
+// balanced bagging variant that undersamples the majority (negative) class —
+// the paper's remedy for SWS's 1:200 class imbalance (Section V-A, citing
+// imbalanced-learn) — and two uncertainty heuristics for bagged ensembles:
+// the between-member prediction variance and the infinitesimal-jackknife
+// estimator of Wager, Hastie & Efron used in Section V-C.
+package bagging
+
+import (
+	"fmt"
+	"math"
+
+	"paws/internal/ml"
+	"paws/internal/rng"
+)
+
+// Config controls the ensemble.
+type Config struct {
+	// Members is the number of bagged learners.
+	Members int
+	// MaxSamples caps each bootstrap sample size as a fraction of the
+	// training set (0 means 1.0). Values < 1 subsample, which is how bagged
+	// Gaussian processes stay tractable.
+	MaxSamples float64
+	// MaxSampleCount, when > 0, caps the absolute bootstrap sample size.
+	MaxSampleCount int
+	// Balanced undersamples negatives so each bag has an equal number of
+	// negatives and positives (all positives are kept, then capped).
+	Balanced bool
+	// Seed drives all resampling.
+	Seed int64
+}
+
+// Ensemble is a fitted bagging classifier.
+type Ensemble struct {
+	cfg     Config
+	base    ml.Factory
+	members []ml.Classifier
+	// inBag[b][i] counts how many times training row i entered bag b
+	// (needed by the infinitesimal jackknife).
+	inBag  [][]int
+	nTrain int
+	// oddsInflation records how balanced bags shifted class odds relative to
+	// the full training set; member predictions divide it back out so the
+	// ensemble stays calibrated to the true base rate (the standard
+	// undersampling prior correction).
+	oddsInflation float64
+}
+
+// New creates an untrained ensemble over the given base factory.
+func New(base ml.Factory, cfg Config) *Ensemble {
+	if cfg.Members <= 0 {
+		cfg.Members = 10
+	}
+	if cfg.MaxSamples <= 0 || cfg.MaxSamples > 1 {
+		cfg.MaxSamples = 1
+	}
+	return &Ensemble{cfg: cfg, base: base}
+}
+
+// Fit trains all members on bootstrap resamples of (X, y).
+func (e *Ensemble) Fit(X [][]float64, y []int) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	r := rng.New(e.cfg.Seed)
+	e.nTrain = len(X)
+	e.members = make([]ml.Classifier, 0, e.cfg.Members)
+	e.inBag = make([][]int, 0, e.cfg.Members)
+	e.oddsInflation = 1
+	var posIdx, negIdx []int
+	for i, v := range y {
+		if v == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if e.cfg.Balanced && len(posIdx) > 0 && len(negIdx) > 0 {
+		// Balanced bags are ~1:1, so the odds inflation is 1/(true odds).
+		e.oddsInflation = float64(len(negIdx)) / float64(len(posIdx))
+	}
+	for b := 0; b < e.cfg.Members; b++ {
+		idx := e.sampleBag(posIdx, negIdx, len(X), r)
+		counts := make([]int, len(X))
+		for _, i := range idx {
+			counts[i]++
+		}
+		bx, by := ml.Subset(X, y, idx)
+		m := e.base(r.Int63())
+		if err := fitWithFallback(m, bx, by); err != nil {
+			return fmt.Errorf("bagging: member %d: %w", b, err)
+		}
+		e.members = append(e.members, m)
+		e.inBag = append(e.inBag, counts)
+	}
+	return nil
+}
+
+// fitWithFallback replaces a member that cannot be fit on a single-class bag
+// with a constant classifier (frequent under extreme imbalance).
+func fitWithFallback(m ml.Classifier, X [][]float64, y []int) error {
+	neg, pos := ml.ClassCounts(y)
+	if neg == 0 || pos == 0 {
+		if cc, ok := m.(*ml.ConstantClassifier); ok {
+			return cc.Fit(X, y)
+		}
+	}
+	return m.Fit(X, y)
+}
+
+// sampleBag draws one bootstrap bag. In balanced mode, each bag gets all
+// positives (bootstrap-resampled) plus an equal number of negatives
+// sampled without replacement — the imbalanced-learn BalancedBagging
+// construction.
+func (e *Ensemble) sampleBag(posIdx, negIdx []int, n int, r *rng.RNG) []int {
+	if e.cfg.Balanced && len(posIdx) > 0 && len(negIdx) > 0 {
+		nPos := len(posIdx)
+		cap := e.capFor(2 * nPos)
+		half := cap / 2
+		if half < 1 {
+			half = 1
+		}
+		idx := make([]int, 0, 2*half)
+		for i := 0; i < half; i++ {
+			idx = append(idx, posIdx[r.Intn(nPos)])
+		}
+		for _, j := range r.SampleWithoutReplacement(len(negIdx), half) {
+			idx = append(idx, negIdx[j])
+		}
+		return idx
+	}
+	size := e.capFor(int(math.Ceil(e.cfg.MaxSamples * float64(n))))
+	if size < 1 {
+		size = 1
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	return idx
+}
+
+func (e *Ensemble) capFor(size int) int {
+	if e.cfg.MaxSampleCount > 0 && size > e.cfg.MaxSampleCount {
+		return e.cfg.MaxSampleCount
+	}
+	return size
+}
+
+// Members returns the fitted ensemble members.
+func (e *Ensemble) Members() []ml.Classifier { return e.members }
+
+// calibrate divides the balanced-sampling odds inflation out of a member
+// probability (identity for plain bagging).
+func (e *Ensemble) calibrate(p float64) float64 {
+	if e.oddsInflation == 1 {
+		return p
+	}
+	odds := p / (1 - p + 1e-12) / e.oddsInflation
+	return odds / (1 + odds)
+}
+
+// PredictProba returns the mean calibrated member probability.
+func (e *Ensemble) PredictProba(x []float64) float64 {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	var s float64
+	for _, m := range e.members {
+		s += e.calibrate(m.PredictProba(x))
+	}
+	return s / float64(len(e.members))
+}
+
+// MemberPredictions returns every member's calibrated probability for x.
+func (e *Ensemble) MemberPredictions(x []float64) []float64 {
+	out := make([]float64, len(e.members))
+	for i, m := range e.members {
+		out[i] = e.calibrate(m.PredictProba(x))
+	}
+	return out
+}
+
+// PredictWithVariance returns the ensemble mean and an uncertainty score.
+// If the members expose intrinsic variances (Gaussian processes), it returns
+// the mean of member variances plus the between-member variance of means
+// (the law of total variance); otherwise it returns the between-member
+// prediction variance — the random-forest heuristic of Section V-C.
+func (e *Ensemble) PredictWithVariance(x []float64) (p, variance float64) {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	n := float64(len(e.members))
+	var mean, m2, intrinsic float64
+	hasIntrinsic := false
+	for i, m := range e.members {
+		var pi, vi float64
+		if um, ok := m.(ml.UncertaintyClassifier); ok {
+			pi, vi = um.PredictWithVariance(x)
+			if _, isConst := m.(*ml.ConstantClassifier); !isConst {
+				hasIntrinsic = true
+			}
+			intrinsic += vi
+		} else {
+			pi = m.PredictProba(x)
+		}
+		pi = e.calibrate(pi)
+		// Welford update for between-member variance.
+		delta := pi - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (pi - mean)
+	}
+	between := m2 / n
+	if hasIntrinsic {
+		return mean, intrinsic/n + between
+	}
+	return mean, between
+}
+
+// JackknifeVariance returns the infinitesimal-jackknife variance estimate of
+// the bagged prediction at x (Wager, Hastie & Efron 2014):
+//
+//	V_IJ = Σ_i Cov_b(N_{b,i}, p_b)²
+//
+// where N_{b,i} is the number of times training point i appears in bag b and
+// p_b is member b's prediction. Requires Fit to have been called.
+func (e *Ensemble) JackknifeVariance(x []float64) float64 {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	b := len(e.members)
+	preds := e.MemberPredictions(x)
+	var meanP float64
+	for _, p := range preds {
+		meanP += p
+	}
+	meanP /= float64(b)
+	// Mean in-bag count per training point.
+	meanN := make([]float64, e.nTrain)
+	for _, counts := range e.inBag {
+		for i, c := range counts {
+			meanN[i] += float64(c)
+		}
+	}
+	for i := range meanN {
+		meanN[i] /= float64(b)
+	}
+	var v float64
+	for i := 0; i < e.nTrain; i++ {
+		var cov float64
+		for bi, counts := range e.inBag {
+			cov += (float64(counts[i]) - meanN[i]) * (preds[bi] - meanP)
+		}
+		cov /= float64(b)
+		v += cov * cov
+	}
+	return v
+}

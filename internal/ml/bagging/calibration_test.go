@@ -1,0 +1,59 @@
+package bagging
+
+import (
+	"testing"
+
+	"paws/internal/rng"
+)
+
+// TestBalancedBaggingCalibrated checks the undersampling prior correction:
+// with 1:50 imbalance, a balanced-bagged forest must not predict ~0.5 in
+// background regions.
+func TestBalancedBaggingCalibrated(t *testing.T) {
+	r := rng.New(3)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 1000; i++ {
+		X = append(X, []float64{r.Normal(0, 1), r.Normal(0, 1)})
+		y = append(y, 0)
+	}
+	for i := 0; i < 20; i++ {
+		X = append(X, []float64{r.Normal(4, 0.5), r.Normal(4, 0.5)})
+		y = append(y, 1)
+	}
+	e := New(treeFactory(4), Config{Members: 15, Balanced: true, Seed: 4})
+	if err := e.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pNeg := e.PredictProba([]float64{0, 0})
+	if pNeg > 0.2 {
+		t.Fatalf("background probability %v too high for 2%% base rate", pNeg)
+	}
+	pPos := e.PredictProba([]float64{4, 4})
+	if pPos <= pNeg {
+		t.Fatal("ranking destroyed by calibration")
+	}
+	// Member predictions must be calibrated consistently with the mean.
+	preds := e.MemberPredictions([]float64{0, 0})
+	var mean float64
+	for _, p := range preds {
+		mean += p
+	}
+	mean /= float64(len(preds))
+	if diff := mean - pNeg; diff > 1e-12 || diff < -1e-12 {
+		t.Fatal("MemberPredictions inconsistent with PredictProba")
+	}
+}
+
+// TestPlainBaggingUncalibrated: without Balanced, no correction is applied.
+func TestPlainBaggingNoCorrection(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	e := New(treeFactory(2), Config{Members: 5, Seed: 5})
+	if err := e.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e.oddsInflation != 1 {
+		t.Fatalf("plain bagging inflation = %v want 1", e.oddsInflation)
+	}
+}

@@ -1,0 +1,88 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"paws/internal/rng"
+)
+
+func TestOddsInflation(t *testing.T) {
+	full := make([]int, 100)
+	for i := 0; i < 10; i++ {
+		full[i] = 1 // 10% positive: odds 1/9
+	}
+	sub := []int{1, 1, 1, 0, 0, 0} // 50%: odds 1
+	if got := oddsInflation(full, sub); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("inflation = %v want 9", got)
+	}
+	// No inflation when distributions match.
+	if got := oddsInflation(full, full); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identity inflation = %v", got)
+	}
+	// Single-class edge cases fall back to 1.
+	if oddsInflation([]int{0, 0}, sub) != 1 || oddsInflation(full, []int{1, 1}) != 1 {
+		t.Fatal("single-class should give inflation 1")
+	}
+}
+
+func TestCorrectOdds(t *testing.T) {
+	// Inflation 9 with p=0.5 → true p = (0.5/0.5)/9 odds = 1/9 → p = 0.1.
+	if got := correctOdds(0.5, 9); math.Abs(got-0.1) > 1e-6 {
+		t.Fatalf("corrected = %v want 0.1", got)
+	}
+	// Identity cases.
+	if correctOdds(0.3, 1) != 0.3 {
+		t.Fatal("inflation 1 must be identity")
+	}
+	if correctOdds(0.3, 0) != 0.3 {
+		t.Fatal("non-positive inflation must be identity")
+	}
+	// Monotone: correction must preserve ranking.
+	prev := -1.0
+	for p := 0.05; p < 1; p += 0.05 {
+		c := correctOdds(p, 5)
+		if c <= prev {
+			t.Fatal("correction not monotone")
+		}
+		prev = c
+	}
+}
+
+// TestGPCalibrationUnderImbalance checks that predictions on imbalanced data
+// track the base rate rather than hovering near 0.5 — the property that
+// restores meaningful planner utilities.
+func TestGPCalibrationUnderImbalance(t *testing.T) {
+	r := rng.New(1)
+	var X [][]float64
+	var y []int
+	// 900 background negatives and 45 positives in a cluster: ~5% base rate.
+	for i := 0; i < 900; i++ {
+		X = append(X, []float64{r.Normal(0, 1), r.Normal(0, 1)})
+		y = append(y, 0)
+	}
+	for i := 0; i < 45; i++ {
+		X = append(X, []float64{r.Normal(4, 0.5), r.Normal(4, 0.5)})
+		y = append(y, 1)
+	}
+	g := New(Config{MaxTrain: 120, Seed: 2})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Deep in the negative background, probability should be near the base
+	// rate (below 15%), not near 0.5 as an uncorrected balanced GP gives.
+	pNeg := g.PredictProba([]float64{0, 0})
+	if pNeg > 0.15 {
+		t.Fatalf("background probability %v too high (calibration failed)", pNeg)
+	}
+	// In the positive cluster the probability must stay well above the base
+	// rate. (The global prior correction is deliberately conservative, so it
+	// under-shoots in pure-positive regions; ranking is what matters.)
+	pPos := g.PredictProba([]float64{4, 4})
+	if pPos < 0.3 {
+		t.Fatalf("cluster probability %v too low", pPos)
+	}
+	if pPos <= pNeg {
+		t.Fatal("ranking destroyed by calibration")
+	}
+}

@@ -1,0 +1,367 @@
+// Package gp implements a binary Gaussian-process classifier with an RBF
+// kernel and the Laplace approximation to the posterior (Rasmussen &
+// Williams, "Gaussian Processes for Machine Learning", Algorithms 3.1/3.2).
+//
+// Unlike the tree and SVM learners, the GP exposes an intrinsic predictive
+// variance driven by the density of training data around the query point —
+// the uncertainty signal the paper exploits for robust patrol planning
+// (Sections IV–VI). Training cost is O(n³), so the PAWS pipeline always bags
+// GPs over capped subsamples (Config.MaxTrain).
+package gp
+
+import (
+	"math"
+
+	"paws/internal/mat"
+	"paws/internal/ml"
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// Config controls the GP classifier.
+type Config struct {
+	// LengthScale is the RBF length scale; 0 selects the median heuristic
+	// (median pairwise distance over a subsample of training points).
+	LengthScale float64
+	// SignalVar is the kernel signal variance σ_f² (default 1).
+	SignalVar float64
+	// MaxTrain caps the training subsample size (default 200). The subsample
+	// keeps every positive when possible — the imbalance-aware choice.
+	MaxTrain int
+	// MaxNewton caps Laplace mode-finding iterations (default 30).
+	MaxNewton int
+	// Jitter is the diagonal stabilizer added to the kernel (default 1e-6).
+	Jitter float64
+	// Seed drives subsampling.
+	Seed int64
+}
+
+// GP is a fitted Gaussian-process classifier.
+type GP struct {
+	cfg Config
+	std *ml.Standardizer
+
+	X  [][]float64 // standardized training subsample
+	ls float64     // resolved length scale
+
+	// Laplace state (R&W notation).
+	fhat  []float64 // posterior mode
+	grad  []float64 // ∇ log p(y|f̂)
+	wSqrt []float64 // W^{1/2} diagonal
+	chB   *mat.Cholesky
+
+	// oddsInflation is how much the class-balanced subsample inflated the
+	// odds relative to the full training set; predictions divide it back
+	// out (the standard undersampling prior correction), so probabilities
+	// stay calibrated to the true base rate.
+	oddsInflation float64
+
+	fitted bool
+}
+
+// New creates an untrained GP classifier.
+func New(cfg Config) *GP {
+	if cfg.SignalVar <= 0 {
+		cfg.SignalVar = 1
+	}
+	if cfg.MaxTrain <= 0 {
+		cfg.MaxTrain = 200
+	}
+	if cfg.MaxNewton <= 0 {
+		cfg.MaxNewton = 30
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 1e-6
+	}
+	return &GP{cfg: cfg}
+}
+
+// kernel is the RBF kernel on standardized inputs.
+func (g *GP) kernel(a, b []float64) float64 {
+	var d2 float64
+	for j := range a {
+		d := a[j] - b[j]
+		d2 += d * d
+	}
+	return g.cfg.SignalVar * math.Exp(-d2/(2*g.ls*g.ls))
+}
+
+// Fit subsamples, standardizes, resolves the length scale, and runs Newton
+// iterations to the Laplace mode.
+func (g *GP) Fit(X [][]float64, y []int) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	idx := subsample(y, g.cfg.MaxTrain, rng.New(g.cfg.Seed))
+	sx, sy := ml.Subset(X, y, idx)
+	g.oddsInflation = oddsInflation(y, sy)
+	std, err := ml.FitStandardizer(sx)
+	if err != nil {
+		return err
+	}
+	g.std = std
+	g.X = std.TransformAll(sx)
+	g.ls = g.cfg.LengthScale
+	if g.ls <= 0 {
+		g.ls = medianHeuristic(g.X)
+	}
+
+	n := len(g.X)
+	K := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel(g.X[i], g.X[j])
+			if i == j {
+				v += g.cfg.Jitter
+			}
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+	}
+
+	// Newton iterations for the posterior mode (R&W Algorithm 3.1), with the
+	// logistic likelihood: for y ∈ {0,1}, ∇ log p = y − σ(f), W = σ(1−σ).
+	f := make([]float64, n)
+	grad := make([]float64, n)
+	w := make([]float64, n)
+	wsq := make([]float64, n)
+	var chB *mat.Cholesky
+	prevObj := math.Inf(-1)
+	for iter := 0; iter < g.cfg.MaxNewton; iter++ {
+		for i := 0; i < n; i++ {
+			p := stats.Logistic(f[i])
+			grad[i] = float64(sy[i]) - p
+			w[i] = math.Max(p*(1-p), 1e-10)
+			wsq[i] = math.Sqrt(w[i])
+		}
+		// B = I + W^{1/2} K W^{1/2}
+		B := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := wsq[i] * K.At(i, j) * wsq[j]
+				if i == j {
+					v += 1
+				}
+				B.Set(i, j, v)
+			}
+		}
+		var err error
+		chB, err = mat.NewCholeskyJitter(B, 1e-10, 8)
+		if err != nil {
+			return err
+		}
+		// b = W f + grad;  a = b − W^{1/2} B⁻¹ W^{1/2} K b;  f = K a.
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			b[i] = w[i]*f[i] + grad[i]
+		}
+		kb := K.MulVec(b)
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rhs[i] = wsq[i] * kb[i]
+		}
+		sol := chB.SolveVec(rhs)
+		a := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = b[i] - wsq[i]*sol[i]
+		}
+		f = K.MulVec(a)
+		// Objective: log p(y|f) − ½ aᵀf (monotone under Newton; used for
+		// convergence detection).
+		obj := -0.5 * mat.Dot(a, f)
+		for i := 0; i < n; i++ {
+			yi := 2*float64(sy[i]) - 1
+			obj += -math.Log1p(math.Exp(-yi * f[i]))
+		}
+		if math.Abs(obj-prevObj) < 1e-8*(1+math.Abs(obj)) {
+			break
+		}
+		prevObj = obj
+	}
+	// Final state at the mode.
+	for i := 0; i < n; i++ {
+		p := stats.Logistic(f[i])
+		grad[i] = float64(sy[i]) - p
+		w[i] = math.Max(p*(1-p), 1e-10)
+		wsq[i] = math.Sqrt(w[i])
+	}
+	B := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := wsq[i] * K.At(i, j) * wsq[j]
+			if i == j {
+				v += 1
+			}
+			B.Set(i, j, v)
+		}
+	}
+	chB, errB := mat.NewCholeskyJitter(B, 1e-10, 8)
+	if errB != nil {
+		return errB
+	}
+	g.fhat = f
+	g.grad = grad
+	g.wSqrt = wsq
+	g.chB = chB
+	g.fitted = true
+	return nil
+}
+
+// latent returns the predictive latent mean and variance at x (R&W
+// Algorithm 3.2).
+func (g *GP) latent(x []float64) (mean, variance float64) {
+	z := g.std.Transform(x)
+	n := len(g.X)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kernel(z, g.X[i])
+	}
+	mean = mat.Dot(ks, g.grad)
+	// v = L \ (W^{1/2} k*); Var = k** − vᵀv.
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = g.wSqrt[i] * ks[i]
+	}
+	v := g.chB.SolveLower(rhs)
+	variance = g.cfg.SignalVar + g.cfg.Jitter - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// PredictProba returns the class probability using the probit
+// approximation to the logistic-Gaussian integral:
+// σ(μ/√(1+πσ²/8)).
+func (g *GP) PredictProba(x []float64) float64 {
+	p, _ := g.PredictWithVariance(x)
+	return p
+}
+
+// PredictWithVariance returns the class probability and the latent
+// predictive variance — the model-intrinsic uncertainty used by GPB-iW.
+func (g *GP) PredictWithVariance(x []float64) (float64, float64) {
+	if !g.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	mean, variance := g.latent(x)
+	p := stats.Logistic(mean / math.Sqrt(1+math.Pi*variance/8))
+	return correctOdds(p, g.oddsInflation), variance
+}
+
+// oddsInflation measures how the subsample shifted class odds versus the
+// full set: (π_sub/(1−π_sub)) / (π_full/(1−π_full)). 1 when either set is
+// single-class (no meaningful correction).
+func oddsInflation(full, sub []int) float64 {
+	fn, fp := ml.ClassCounts(full)
+	sn, sp := ml.ClassCounts(sub)
+	if fn == 0 || fp == 0 || sn == 0 || sp == 0 {
+		return 1
+	}
+	return (float64(sp) / float64(sn)) / (float64(fp) / float64(fn))
+}
+
+// correctOdds divides the inflation back out of a predicted probability.
+func correctOdds(p, inflation float64) float64 {
+	if inflation == 1 || inflation <= 0 {
+		return p
+	}
+	odds := p / (1 - p + 1e-12) / inflation
+	return odds / (1 + odds)
+}
+
+// LatentAt exposes the latent mean/variance for diagnostics and tests.
+func (g *GP) LatentAt(x []float64) (mean, variance float64) {
+	if !g.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	return g.latent(x)
+}
+
+// TrainSize returns the size of the training subsample actually used.
+func (g *GP) TrainSize() int { return len(g.X) }
+
+// LengthScale returns the resolved RBF length scale.
+func (g *GP) LengthScale() float64 { return g.ls }
+
+// subsample selects at most maxN indices. Positives are kept whole when they
+// fit in half the budget; when they are abundant, the subsample is balanced
+// half/half so no class ever disappears (an all-positive GP would be
+// degenerate). Remaining budget is filled with random negatives.
+func subsample(y []int, maxN int, r *rng.RNG) []int {
+	n := len(y)
+	if n <= maxN {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	var pos, neg []int
+	for i, v := range y {
+		if v == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		// Single-class data: plain subsample.
+		return r.SampleWithoutReplacement(n, maxN)
+	}
+	posTake := len(pos)
+	if posTake > maxN/2 {
+		posTake = maxN / 2
+	}
+	negTake := maxN - posTake
+	if negTake > len(neg) {
+		negTake = len(neg)
+		posTake = maxN - negTake
+		if posTake > len(pos) {
+			posTake = len(pos)
+		}
+	}
+	idx := make([]int, 0, posTake+negTake)
+	for _, j := range r.SampleWithoutReplacement(len(pos), posTake) {
+		idx = append(idx, pos[j])
+	}
+	for _, j := range r.SampleWithoutReplacement(len(neg), negTake) {
+		idx = append(idx, neg[j])
+	}
+	return idx
+}
+
+// medianHeuristic returns the median pairwise Euclidean distance over a
+// capped number of point pairs (a standard kernel-bandwidth heuristic).
+func medianHeuristic(X [][]float64) float64 {
+	n := len(X)
+	if n < 2 {
+		return 1
+	}
+	var dists []float64
+	stride := 1
+	// Cap at ~2e5 pairs.
+	for n*(n-1)/2/stride > 200000 {
+		stride++
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j += stride {
+			var d2 float64
+			for k := range X[i] {
+				d := X[i][k] - X[j][k]
+				d2 += d * d
+			}
+			dists = append(dists, math.Sqrt(d2))
+			count++
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	m := stats.Percentile(dists, 50)
+	if m <= 1e-9 {
+		return 1
+	}
+	return m
+}

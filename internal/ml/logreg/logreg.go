@@ -1,0 +1,188 @@
+// Package logreg implements L2-regularized logistic regression trained by
+// iteratively reweighted least squares (Newton's method), with the
+// class-weighting and positive-unlabeled (PU) learning extensions of Lee &
+// Liu (2003) and Elkan & Noto (2008).
+//
+// PU learning is the formal framing of the paper's label-noise problem
+// (Section II-c): positive labels are reliable, negative labels are really
+// just *unlabeled* — a cell without a detected snare may still be attacked.
+// This package provides the classical PU baseline that iWare-E is an
+// alternative to: treat unlabeled examples as weighted negatives, then
+// correct the output probability by the estimated labeling rate
+// c = P(labeled | positive).
+package logreg
+
+import (
+	"errors"
+	"math"
+
+	"paws/internal/mat"
+	"paws/internal/ml"
+	"paws/internal/stats"
+)
+
+// Config controls training.
+type Config struct {
+	// L2 is the ridge penalty (default 1e-3).
+	L2 float64
+	// MaxIter caps Newton iterations (default 50).
+	MaxIter int
+	// PosWeight and NegWeight scale the per-class log-likelihood terms
+	// (defaults 1). Lee & Liu's PU scheme puts a high weight on positives
+	// and a low weight on the unlabeled-as-negatives.
+	PosWeight, NegWeight float64
+}
+
+// LogReg is a fitted logistic-regression classifier.
+type LogReg struct {
+	cfg    Config
+	std    *ml.Standardizer
+	w      []float64 // weights over standardized features
+	b      float64
+	fitted bool
+	// labelingRate is the Elkan-Noto c = P(labeled|positive); 1 when unset.
+	labelingRate float64
+}
+
+// New creates an untrained model.
+func New(cfg Config) *LogReg {
+	if cfg.L2 <= 0 {
+		cfg.L2 = 1e-3
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.PosWeight <= 0 {
+		cfg.PosWeight = 1
+	}
+	if cfg.NegWeight <= 0 {
+		cfg.NegWeight = 1
+	}
+	return &LogReg{cfg: cfg, labelingRate: 1}
+}
+
+// Fit trains by Newton-Raphson on the weighted penalized log-likelihood.
+func (l *LogReg) Fit(X [][]float64, y []int) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	std, err := ml.FitStandardizer(X)
+	if err != nil {
+		return err
+	}
+	l.std = std
+	Z := std.TransformAll(X)
+	n := len(Z)
+	k := len(Z[0])
+	// Augment with intercept: dimension k+1, index k is the intercept.
+	l.w = make([]float64, k)
+	l.b = 0
+	for iter := 0; iter < l.cfg.MaxIter; iter++ {
+		// Gradient and Hessian of the penalized weighted log-likelihood.
+		g := make([]float64, k+1)
+		h := mat.NewDense(k+1, k+1)
+		for i := 0; i < n; i++ {
+			zi := Z[i]
+			p := stats.Logistic(dot(l.w, zi) + l.b)
+			cw := l.cfg.NegWeight
+			if y[i] == 1 {
+				cw = l.cfg.PosWeight
+			}
+			d := cw * (float64(y[i]) - p)
+			wgt := cw * math.Max(p*(1-p), 1e-10)
+			for a := 0; a < k; a++ {
+				g[a] += d * zi[a]
+				for bIdx := a; bIdx < k; bIdx++ {
+					h.Set(a, bIdx, h.At(a, bIdx)+wgt*zi[a]*zi[bIdx])
+				}
+				h.Set(a, k, h.At(a, k)+wgt*zi[a])
+			}
+			g[k] += d
+			h.Set(k, k, h.At(k, k)+wgt)
+		}
+		// Symmetrize and regularize (no penalty on the intercept).
+		for a := 0; a < k; a++ {
+			g[a] -= l.cfg.L2 * l.w[a]
+			h.Set(a, a, h.At(a, a)+l.cfg.L2)
+			for bIdx := 0; bIdx < a; bIdx++ {
+				h.Set(a, bIdx, h.At(bIdx, a))
+			}
+		}
+		for bIdx := 0; bIdx < k; bIdx++ {
+			h.Set(k, bIdx, h.At(bIdx, k))
+		}
+		h.Set(k, k, h.At(k, k)+1e-9)
+		ch, err := mat.NewCholeskyJitter(h, 1e-9, 10)
+		if err != nil {
+			return errors.New("logreg: singular Hessian")
+		}
+		step := ch.SolveVec(g)
+		var norm float64
+		for a := 0; a < k; a++ {
+			l.w[a] += step[a]
+			norm += math.Abs(step[a])
+		}
+		l.b += step[k]
+		norm += math.Abs(step[k])
+		if norm < 1e-10 {
+			break
+		}
+	}
+	l.fitted = true
+	return nil
+}
+
+// PredictProba returns P(y=1 | x), corrected by the labeling rate when one
+// has been set via SetLabelingRate/EstimateLabelingRate.
+func (l *LogReg) PredictProba(x []float64) float64 {
+	if !l.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	p := stats.Logistic(dot(l.w, l.std.Transform(x)) + l.b)
+	if l.labelingRate < 1 {
+		p = math.Min(1, p/l.labelingRate)
+	}
+	return p
+}
+
+// Weights returns the learned weights over standardized features.
+func (l *LogReg) Weights() []float64 { return l.w }
+
+// SetLabelingRate fixes the Elkan-Noto constant c = P(labeled | positive).
+// Probabilities are divided by c, mapping "probability of being labeled" to
+// "probability of being positive".
+func (l *LogReg) SetLabelingRate(c float64) {
+	if c <= 0 || c > 1 {
+		c = 1
+	}
+	l.labelingRate = c
+}
+
+// EstimateLabelingRate implements Elkan & Noto's estimator e1: the mean
+// predicted probability over a held-out set of KNOWN positives. Call after
+// Fit with validation positives not used in training.
+func (l *LogReg) EstimateLabelingRate(positives [][]float64) float64 {
+	if !l.fitted || len(positives) == 0 {
+		return 1
+	}
+	save := l.labelingRate
+	l.labelingRate = 1
+	var s float64
+	for _, x := range positives {
+		s += l.PredictProba(x)
+	}
+	l.labelingRate = save
+	c := s / float64(len(positives))
+	if c <= 0 || c > 1 {
+		return 1
+	}
+	return c
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

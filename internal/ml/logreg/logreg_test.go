@@ -1,0 +1,208 @@
+package logreg
+
+import (
+	"math"
+	"testing"
+
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+func linearData(n int, seed int64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := r.Normal(0, 2), r.Normal(0, 2)
+		X[i] = []float64{a, b}
+		if stats.Logistic(1.5*a-b+0.5) > r.Float64() {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestLogRegLearnsLinearBoundary(t *testing.T) {
+	X, y := linearData(800, 1)
+	m := New(Config{})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := linearData(400, 2)
+	scores := make([]float64, len(Xt))
+	for i, x := range Xt {
+		scores[i] = m.PredictProba(x)
+	}
+	if auc := stats.AUC(yt, scores); auc < 0.85 {
+		t.Fatalf("AUC = %v", auc)
+	}
+	// Recovered weight signs must match the generator (w1 > 0 > w2).
+	w := m.Weights()
+	if w[0] <= 0 || w[1] >= 0 {
+		t.Fatalf("weights %v have wrong signs", w)
+	}
+}
+
+func TestLogRegProbabilitiesCalibrated(t *testing.T) {
+	X, y := linearData(2000, 3)
+	m := New(Config{})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Bin predictions and compare with empirical frequency.
+	Xt, yt := linearData(2000, 4)
+	var sumP, sumY float64
+	for i, x := range Xt {
+		sumP += m.PredictProba(x)
+		sumY += float64(yt[i])
+	}
+	if math.Abs(sumP-sumY)/float64(len(Xt)) > 0.05 {
+		t.Fatalf("mean prediction %v vs empirical rate %v", sumP/2000, sumY/2000)
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unfitted predict")
+		}
+	}()
+	m.PredictProba([]float64{1})
+}
+
+func TestLogRegDeterministic(t *testing.T) {
+	X, y := linearData(300, 5)
+	m1 := New(Config{})
+	m2 := New(Config{})
+	if err := m1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if m1.PredictProba(X[i]) != m2.PredictProba(X[i]) {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+// puData builds a positive-unlabeled dataset: true positives are labeled
+// only with probability c; everything else is "negative" (unlabeled).
+func puData(n int, c float64, seed int64) (X [][]float64, observed, trueLabels []int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a, b := r.Normal(0, 2), r.Normal(0, 2)
+		X = append(X, []float64{a, b})
+		yt := 0
+		if stats.Logistic(2*a-1.5*b) > r.Float64() {
+			yt = 1
+		}
+		trueLabels = append(trueLabels, yt)
+		if yt == 1 && r.Bernoulli(c) {
+			observed = append(observed, 1)
+		} else {
+			observed = append(observed, 0)
+		}
+	}
+	return
+}
+
+func TestPUWeightedBeatsNaiveOnTrueLabels(t *testing.T) {
+	const c = 0.3 // only 30% of positives are labeled
+	X, obs, _ := puData(1500, c, 6)
+	Xt, _, ytTrue := puData(800, c, 7)
+
+	naive := New(Config{})
+	if err := naive.Fit(X, obs); err != nil {
+		t.Fatal(err)
+	}
+	pu := New(Config{PosWeight: 3, NegWeight: 0.8})
+	if err := pu.Fit(X, obs); err != nil {
+		t.Fatal(err)
+	}
+	aucOf := func(m *LogReg) float64 {
+		scores := make([]float64, len(Xt))
+		for i, x := range Xt {
+			scores[i] = m.PredictProba(x)
+		}
+		return stats.AUC(ytTrue, scores)
+	}
+	aucNaive, aucPU := aucOf(naive), aucOf(pu)
+	// Ranking is largely preserved under one-sided noise (both should be
+	// good); the weighted variant must not be worse.
+	if aucPU < aucNaive-0.02 {
+		t.Fatalf("PU-weighted AUC %v below naive %v", aucPU, aucNaive)
+	}
+	if aucPU < 0.8 {
+		t.Fatalf("PU AUC = %v", aucPU)
+	}
+}
+
+func TestElkanNotoCorrection(t *testing.T) {
+	const c = 0.4
+	X, obs, _ := puData(2000, c, 8)
+	m := New(Config{})
+	if err := m.Fit(X, obs); err != nil {
+		t.Fatal(err)
+	}
+	// Validation positives: labeled examples held out from another draw.
+	Xv, obsV, _ := puData(800, c, 9)
+	var valPos [][]float64
+	for i, o := range obsV {
+		if o == 1 {
+			valPos = append(valPos, Xv[i])
+		}
+	}
+	cHat := m.EstimateLabelingRate(valPos)
+	if cHat <= 0.1 || cHat > 1 {
+		t.Fatalf("estimated labeling rate %v out of range", cHat)
+	}
+	// The estimate should be in the right ballpark of the true c.
+	if math.Abs(cHat-c) > 0.25 {
+		t.Fatalf("estimated c = %v, true %v", cHat, c)
+	}
+	// Applying the correction must raise probabilities (divide by c < 1).
+	m.SetLabelingRate(cHat)
+	x := Xv[0]
+	pc := m.PredictProba(x)
+	m.SetLabelingRate(1)
+	pu := m.PredictProba(x)
+	if pc < pu {
+		t.Fatal("correction should not lower probabilities")
+	}
+}
+
+func TestSetLabelingRateValidation(t *testing.T) {
+	m := New(Config{})
+	m.SetLabelingRate(-1)
+	if m.labelingRate != 1 {
+		t.Fatal("invalid rate should reset to 1")
+	}
+	m.SetLabelingRate(2)
+	if m.labelingRate != 1 {
+		t.Fatal("rate > 1 should reset to 1")
+	}
+	m.SetLabelingRate(0.5)
+	if m.labelingRate != 0.5 {
+		t.Fatal("valid rate rejected")
+	}
+}
+
+func TestEstimateLabelingRateEdgeCases(t *testing.T) {
+	m := New(Config{})
+	if m.EstimateLabelingRate(nil) != 1 {
+		t.Fatal("unfitted estimate should be 1")
+	}
+	X, y := linearData(200, 10)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.EstimateLabelingRate(nil) != 1 {
+		t.Fatal("empty positives should give 1")
+	}
+}

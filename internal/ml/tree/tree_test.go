@@ -1,0 +1,177 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// xorData is a dataset a linear model cannot fit but a depth-2 tree can.
+func xorData(n int, seed int64) ([][]float64, []int) {
+	r := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := r.Float64(), r.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestTreeFitsXOR(t *testing.T) {
+	X, y := xorData(400, 1)
+	tr := New(Config{MaxDepth: 6, MinLeaf: 3})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := xorData(200, 2)
+	scores := make([]float64, len(Xt))
+	for i, x := range Xt {
+		scores[i] = tr.PredictProba(x)
+	}
+	if auc := stats.AUC(yt, scores); auc < 0.9 {
+		t.Fatalf("XOR AUC = %v want > 0.9", auc)
+	}
+}
+
+func TestTreePureNodeIsLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatal("pure training set should give a stump")
+	}
+	if tr.PredictProba([]float64{10}) != 1 {
+		t.Fatal("pure positive leaf should predict 1")
+	}
+}
+
+func TestTreeMaxDepthRespected(t *testing.T) {
+	X, y := xorData(500, 3)
+	tr := New(Config{MaxDepth: 2})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 2 {
+		t.Fatalf("depth %d exceeds max 2", tr.Depth())
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	X, y := xorData(200, 4)
+	tr := New(Config{MinLeaf: 30})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 30 and 200 points, at most ~6 leaves are possible.
+	if tr.NumLeaves() > 7 {
+		t.Fatalf("too many leaves (%d) for MinLeaf=30", tr.NumLeaves())
+	}
+}
+
+func TestTreeProbabilitiesInRange(t *testing.T) {
+	X, y := xorData(300, 5)
+	tr := New(Config{MaxDepth: 4, MinLeaf: 10})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := tr.PredictProba(X[i])
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	// All feature values identical → no split possible → root leaf.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 1, 0, 1}
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatal("constant features should give a stump")
+	}
+	if tr.PredictProba([]float64{1, 1}) != 0.5 {
+		t.Fatal("stump should predict base rate")
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr := New(Config{})
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic predicting with unfitted tree")
+		}
+	}()
+	tr.PredictProba([]float64{1})
+}
+
+func TestTreeFeatureDimPanic(t *testing.T) {
+	X, y := xorData(50, 6)
+	tr := New(Config{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong feature count")
+		}
+	}()
+	tr.PredictProba([]float64{1, 2, 3})
+}
+
+func TestTreeFeatureSubsamplingDeterministic(t *testing.T) {
+	X, y := xorData(300, 7)
+	t1 := New(Config{MaxFeatures: 1, Seed: 42})
+	t2 := New(Config{MaxFeatures: 1, Seed: 42})
+	if err := t1.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if t1.PredictProba(X[i]) != t2.PredictProba(X[i]) {
+			t.Fatal("same seed should give identical trees")
+		}
+	}
+}
+
+func TestTreeImbalancedData(t *testing.T) {
+	// 1:50 imbalance; tree should still isolate the positive cluster.
+	r := rng.New(8)
+	var X [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		X = append(X, []float64{r.Float64(), r.Float64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 10; i++ {
+		X = append(X, []float64{5 + r.Float64()*0.1, 5 + r.Float64()*0.1})
+		y = append(y, 1)
+	}
+	tr := New(Config{MinLeaf: 1})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PredictProba([]float64{5.05, 5.05}); p < 0.9 {
+		t.Fatalf("positive cluster prediction %v", p)
+	}
+	if p := tr.PredictProba([]float64{0.5, 0.5}); p > 0.1 {
+		t.Fatalf("negative region prediction %v", p)
+	}
+}

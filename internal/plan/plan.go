@@ -1,0 +1,443 @@
+// Package plan implements the prescriptive stage of PAWS (Section VI):
+// computing patrol routes that maximize expected detection of poaching,
+// optionally penalized by predictive uncertainty.
+//
+// A patrol plan for one patrol post is a mixed strategy over paths on a
+// time-unrolled graph: layers t = 0..T of the post's neighborhood cells,
+// edges between 8-adjacent cells (and self-loops for waiting) in consecutive
+// layers, one unit of flow from (post, 0) to (post, T). Patrol effort at a
+// cell is K times the total flow entering that cell across layers 1..T,
+// where K is the number of patrols conducted, so Σ_v c_v = K·T.
+//
+// The machine-learning model enters as a black box: per cell, the functions
+// g_v(c) (probability a patrol with effort c detects an attack) and ν_v(c)
+// (squashed predictive uncertainty). The planner samples the robust utility
+//
+//	U_v(c) = g_v(c) − β·g_v(c)·ν_v(c)
+//
+// at PWL breakpoints (both factors depend on the same scalar c, so the
+// product is still univariate — see DESIGN.md) and maximizes Σ_v U_v(c_v)
+// subject to the flow polytope, as a MILP when any sampled U_v is
+// non-concave.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"paws/internal/geo"
+	"paws/internal/lp"
+	"paws/internal/milp"
+)
+
+// CellModel is the black-box predictive interface the planner optimizes.
+// Detect must return a value in [0,1]; Uncertainty must return the squashed
+// uncertainty score in [0,1].
+type CellModel interface {
+	Detect(cell int, effort float64) float64
+	Uncertainty(cell int, effort float64) float64
+}
+
+// Region is the planning neighborhood of one patrol post.
+type Region struct {
+	Park *geo.Park
+	Post int
+	// Cells are park cell ids in the region; Cells[0] == Post.
+	Cells []int
+	// index maps park cell id -> region-local index.
+	index map[int]int
+	// Neighbors lists region-local neighbor indices (4-adjacency, within the
+	// region) for each region cell. One planner time step is the minimum
+	// time to cross one cell, so moves are rook steps; waiting is modelled
+	// by the planner's self-loops.
+	Neighbors [][]int
+}
+
+// NewRegion builds the planning region of all cells within graph radius
+// `radius` of the post (breadth-first over 8-neighbors), capped at maxCells.
+func NewRegion(park *geo.Park, post, radius, maxCells int) (*Region, error) {
+	if post < 0 || post >= park.Grid.NumCells() {
+		return nil, fmt.Errorf("plan: post cell %d out of range", post)
+	}
+	if radius < 1 {
+		return nil, errors.New("plan: radius must be ≥ 1")
+	}
+	if maxCells <= 0 {
+		maxCells = 1 << 30
+	}
+	r := &Region{Park: park, Post: post, index: map[int]int{}}
+	type qi struct{ cell, depth int }
+	queue := []qi{{post, 0}}
+	seen := map[int]bool{post: true}
+	nbr := make([]int, 0, 8)
+	for len(queue) > 0 && len(r.Cells) < maxCells {
+		cur := queue[0]
+		queue = queue[1:]
+		r.index[cur.cell] = len(r.Cells)
+		r.Cells = append(r.Cells, cur.cell)
+		if cur.depth >= radius {
+			continue
+		}
+		nbr = park.Grid.Neighbors8(cur.cell, nbr[:0])
+		for _, n := range nbr {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, qi{n, cur.depth + 1})
+			}
+		}
+	}
+	// Local adjacency (self-loops are added by the planner, not here).
+	r.Neighbors = make([][]int, len(r.Cells))
+	for li, cell := range r.Cells {
+		nbr = park.Grid.Neighbors4(cell, nbr[:0])
+		for _, n := range nbr {
+			if lj, ok := r.index[n]; ok {
+				r.Neighbors[li] = append(r.Neighbors[li], lj)
+			}
+		}
+	}
+	return r, nil
+}
+
+// NumCells returns the number of cells in the region.
+func (r *Region) NumCells() int { return len(r.Cells) }
+
+// Config controls one planning solve.
+type Config struct {
+	// T is the number of time steps in a patrol (path length).
+	T int
+	// K is the number of patrols conducted over the planning horizon; the
+	// effort at a cell is K × (flow into the cell).
+	K float64
+	// Segments is the number of PWL segments per cell utility.
+	Segments int
+	// Beta is the robustness weight β ∈ [0,1] on the uncertainty penalty.
+	Beta float64
+	// MaxEffort caps the per-cell effort used as the PWL domain. 0 derives
+	// it as min(K·T, K·4): a cell cannot absorb more than the full flow.
+	MaxEffort float64
+	// Solver selects the optimization strategy (see SolverKind).
+	Solver SolverKind
+	// FWIters caps Frank-Wolfe iterations (default 250).
+	FWIters int
+	// MILP tunes the branch-and-bound search.
+	MILP milp.Options
+}
+
+// SolverKind selects how the planning problem is optimized.
+type SolverKind int
+
+const (
+	// SolverAuto runs the Frank-Wolfe relaxation, then refines with the
+	// budgeted MILP when the instance is small enough, keeping the better
+	// plan. This is the default.
+	SolverAuto SolverKind = iota
+	// SolverFrankWolfe runs only the conditional-gradient relaxation over
+	// the flow polytope — fast and scalable, exact for concave utilities.
+	SolverFrankWolfe
+	// SolverMILP runs only the simplex relaxation plus branch-and-bound —
+	// the formulation of the paper, exact (within its budget) but slow on
+	// large regions. Used by the Fig. 9 runtime study.
+	SolverMILP
+)
+
+// Plan is a computed patrol strategy.
+type Plan struct {
+	Region *Region
+	// Effort[i] is the planned patrol effort for region cell i.
+	Effort []float64
+	// Objective is Σ U_v(c_v) of the returned plan, evaluated exactly on the
+	// sampled PWL utilities (never the LP's possibly-overestimated bound).
+	Objective float64
+	// Runtime is the wall time of the solve.
+	Runtime time.Duration
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Binaries is the number of SOS2 binaries the MILP needed (0 when every
+	// sampled utility was concave).
+	Binaries int
+	// Relaxed reports that the returned plan came from the LP relaxation
+	// (the MILP refinement found nothing better within its budget). The LP
+	// relaxation only loosens the objective linearization — its flow and
+	// effort values are always feasible patrol strategies.
+	Relaxed bool
+}
+
+// Solve computes the optimal plan for the region under the model.
+func Solve(region *Region, model CellModel, cfg Config) (*Plan, error) {
+	if cfg.T < 2 {
+		return nil, errors.New("plan: T must be ≥ 2")
+	}
+	if cfg.K <= 0 {
+		return nil, errors.New("plan: K must be positive")
+	}
+	if cfg.Segments < 1 {
+		return nil, errors.New("plan: need ≥ 1 PWL segment")
+	}
+	if cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, fmt.Errorf("plan: β = %v out of [0,1]", cfg.Beta)
+	}
+	start := time.Now()
+
+	n := region.NumCells()
+	maxEffort := cfg.MaxEffort
+	if maxEffort <= 0 {
+		maxEffort = math.Min(cfg.K*float64(cfg.T), cfg.K*4)
+	}
+
+	// Sample the robust utility U_v(c) = g_v(c)·(1 − β·ν_v(c)) at the PWL
+	// breakpoints — both factors depend on the same scalar c, so the product
+	// is univariate (DESIGN.md).
+	pwls := make([]milp.PWL, n)
+	for i := 0; i < n; i++ {
+		cell := region.Cells[i]
+		xs := make([]float64, cfg.Segments+1)
+		ys := make([]float64, cfg.Segments+1)
+		for k := 0; k <= cfg.Segments; k++ {
+			c := maxEffort * float64(k) / float64(cfg.Segments)
+			xs[k] = c
+			g := model.Detect(cell, c)
+			nu := model.Uncertainty(cell, c)
+			ys[k] = g - cfg.Beta*g*nu
+		}
+		f, err := milp.NewPWL(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("plan: cell %d PWL: %w", cell, err)
+		}
+		pwls[i] = f
+	}
+	exactObj := func(effort []float64) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += pwls[i].Eval(effort[i])
+		}
+		return s
+	}
+
+	out := &Plan{Region: region}
+
+	// Frank-Wolfe relaxation: fast, feasible, exact for concave hulls.
+	if cfg.Solver != SolverMILP {
+		iters := cfg.FWIters
+		if iters <= 0 {
+			iters = 250
+		}
+		fw := buildFW(region, model, cfg, maxEffort, pwls)
+		effort := fw.solveFrankWolfe(iters)
+		out.Effort = effort
+		out.Objective = exactObj(effort)
+		out.Relaxed = true
+	}
+	if cfg.Solver == SolverFrankWolfe {
+		out.Runtime = time.Since(start)
+		return out, nil
+	}
+
+	// MILP path (problem P of the paper): build the flow LP with
+	// lambda-encoded PWL utilities.
+	milpPlan, err := solveMILPPath(region, cfg, pwls, maxEffort, exactObj)
+	if err != nil {
+		if cfg.Solver == SolverMILP {
+			return nil, err
+		}
+		// Auto mode: keep the Frank-Wolfe plan when the MILP path fails.
+		out.Runtime = time.Since(start)
+		return out, nil
+	}
+	if milpPlan != nil {
+		out.Binaries = milpPlan.Binaries
+		out.Nodes = milpPlan.Nodes
+		if out.Effort == nil || milpPlan.Objective > out.Objective {
+			out.Effort = milpPlan.Effort
+			out.Objective = milpPlan.Objective
+			out.Relaxed = milpPlan.Relaxed
+		}
+	}
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// solveMILPPath assembles and solves the paper's MILP formulation. In Auto
+// mode it is skipped for instances too large for the budgeted search to make
+// progress (returns nil, nil).
+func solveMILPPath(region *Region, cfg Config, pwls []milp.PWL, maxEffort float64, exactObj func([]float64) float64) (*Plan, error) {
+	n := region.NumCells()
+	// Size guard for Auto mode: edge variables ≈ T·n·5.
+	edgeVars := cfg.T * n * 5
+	if cfg.Solver == SolverAuto && edgeVars > 2600 {
+		return nil, nil
+	}
+
+	p := lp.NewProblem()
+	// Node layers t = 0..T. nodeIn[t][i] accumulates edge variables entering
+	// node (i, t).
+	type edgeList struct{ idx []int }
+	inEdges := make([][]edgeList, cfg.T+1)
+	outEdges := make([][]edgeList, cfg.T+1)
+	for t := 0; t <= cfg.T; t++ {
+		inEdges[t] = make([]edgeList, n)
+		outEdges[t] = make([]edgeList, n)
+	}
+	postLocal := 0 // region.Cells[0] is the post
+
+	// Edge variables between consecutive layers. Layer 0 only has the post
+	// occupied, so only its outgoing edges exist.
+	for t := 0; t < cfg.T; t++ {
+		for i := 0; i < n; i++ {
+			if t == 0 && i != postLocal {
+				continue
+			}
+			targets := append([]int{i}, region.Neighbors[i]...) // self-loop + moves
+			for _, j := range targets {
+				v := p.AddVariable(0, 0, 1)
+				outEdges[t][i].idx = append(outEdges[t][i].idx, v)
+				inEdges[t+1][j].idx = append(inEdges[t+1][j].idx, v)
+			}
+		}
+	}
+	// Flow conservation: for t = 1..T−1, inflow(i,t) = outflow(i,t).
+	ones := func(k int) []float64 {
+		o := make([]float64, k)
+		for i := range o {
+			o[i] = 1
+		}
+		return o
+	}
+	for t := 1; t < cfg.T; t++ {
+		for i := 0; i < n; i++ {
+			in := inEdges[t][i].idx
+			out := outEdges[t][i].idx
+			if len(in) == 0 && len(out) == 0 {
+				continue
+			}
+			idx := append(append([]int{}, in...), out...)
+			coef := append(ones(len(in)), negOnes(len(out))...)
+			if err := p.AddConstraint(idx, coef, lp.EQ, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Source: outflow(post, 0) = 1. Sink: inflow(post, T) = 1.
+	if err := p.AddConstraint(outEdges[0][postLocal].idx, ones(len(outEdges[0][postLocal].idx)), lp.EQ, 1); err != nil {
+		return nil, err
+	}
+	if err := p.AddConstraint(inEdges[cfg.T][postLocal].idx, ones(len(inEdges[cfg.T][postLocal].idx)), lp.EQ, 1); err != nil {
+		return nil, err
+	}
+
+	// Effort variables: c_i = K · Σ_{t=1..T} inflow(i, t).
+	cVars := make([]int, n)
+	for i := 0; i < n; i++ {
+		cVars[i] = p.AddVariable(0, 0, maxEffort)
+		var idx []int
+		for t := 1; t <= cfg.T; t++ {
+			idx = append(idx, inEdges[t][i].idx...)
+		}
+		coef := make([]float64, 0, len(idx)+1)
+		all := append([]int{cVars[i]}, idx...)
+		coef = append(coef, 1)
+		for range idx {
+			coef = append(coef, -cfg.K)
+		}
+		if err := p.AddConstraint(all, coef, lp.EQ, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// PWL utility per cell via the lambda encoding.
+	var allBinaries []int
+	for i := 0; i < n; i++ {
+		_, bins, err := pwls[i].AddToProblem(p, cVars[i], 1, false)
+		if err != nil {
+			return nil, err
+		}
+		allBinaries = append(allBinaries, bins...)
+	}
+	if cfg.Solver == SolverAuto && len(allBinaries) > 220 {
+		// A budgeted dive cannot reach a leaf; leave it to Frank-Wolfe.
+		return nil, nil
+	}
+
+	extract := func(X []float64) []float64 {
+		eff := make([]float64, n)
+		for i := 0; i < n; i++ {
+			eff[i] = X[cVars[i]]
+		}
+		return eff
+	}
+
+	// Stage 1: simplex relaxation — feasible, and exact when every sampled
+	// utility is concave.
+	relax, err := lp.Solve(p, lp.Options{MaxIter: cfg.MILP.LPMaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("plan: relaxation: %w", err)
+	}
+	if relax.Status != lp.Optimal {
+		return nil, fmt.Errorf("plan: relaxation status %v", relax.Status)
+	}
+	out := &Plan{
+		Region:    region,
+		Effort:    extract(relax.X),
+		Objective: exactObj(extract(relax.X)),
+		Binaries:  len(allBinaries),
+		Relaxed:   true,
+	}
+
+	// Stage 2: budgeted branch-and-bound refinement when the utilities are
+	// non-concave. The search dives to an incumbent first, so even a small
+	// node budget yields an adjacency-feasible solution.
+	if len(allBinaries) > 0 {
+		opts := cfg.MILP
+		if opts.MaxNodes <= 0 {
+			opts.MaxNodes = 150
+		}
+		if opts.TimeLimit <= 0 {
+			opts.TimeLimit = 10 * time.Second
+		}
+		res, err := milp.Solve(p, allBinaries, opts)
+		if err == nil && (res.Status == lp.Optimal || res.Status == lp.IterLimit) && res.X != nil {
+			eff := extract(res.X)
+			if obj := exactObj(eff); obj > out.Objective {
+				out.Effort = eff
+				out.Objective = obj
+				out.Relaxed = false
+			}
+			out.Nodes = res.Nodes
+		} else if err != nil && !errors.Is(err, milp.ErrNoIncumbent) {
+			return nil, fmt.Errorf("plan: MILP refinement: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func negOnes(k int) []float64 {
+	o := make([]float64, k)
+	for i := range o {
+		o[i] = -1
+	}
+	return o
+}
+
+// Evaluate computes the exact (non-PWL) robust utility of an effort
+// allocation under the model: Σ_v g_v(c_v)·(1 − β·ν_v(c_v)).
+func Evaluate(region *Region, model CellModel, effort []float64, beta float64) float64 {
+	var u float64
+	for i, cell := range region.Cells {
+		c := effort[i]
+		g := model.Detect(cell, c)
+		nu := model.Uncertainty(cell, c)
+		u += g - beta*g*nu
+	}
+	return u
+}
+
+// TotalEffort sums the planned effort (should equal K·T within tolerance).
+func (p *Plan) TotalEffort() float64 {
+	var s float64
+	for _, e := range p.Effort {
+		s += e
+	}
+	return s
+}

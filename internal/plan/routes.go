@@ -1,0 +1,168 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Route is one executable patrol: a sequence of region-local cell indices,
+// starting and ending at the post, with exactly T+1 entries (T moves).
+type Route struct {
+	// Cells are region-local indices; Cells[0] == Cells[len-1] == 0 (post).
+	Cells []int
+}
+
+// ParkCells translates the route to park cell ids.
+func (r Route) ParkCells(region *Region) []int {
+	out := make([]int, len(r.Cells))
+	for i, c := range r.Cells {
+		out[i] = region.Cells[c]
+	}
+	return out
+}
+
+// ExtractRoutes decomposes a planned effort allocation into K executable
+// patrol routes of T steps each. Rangers execute routes, not effort maps, so
+// this is the deployment artifact (the paper hands rangers GPS coordinates
+// of target areas).
+//
+// The decomposition is greedy: each route is the T-step closed walk from the
+// post that collects the most remaining effort mass, where a cell's mass is
+// consumed as routes visit it. For plans produced by Frank-Wolfe or the
+// MILP, K routes reproduce the planned effort closely (exactly, when the
+// plan is a single pure path).
+func ExtractRoutes(region *Region, effort []float64, T int, K int) ([]Route, error) {
+	if len(effort) != region.NumCells() {
+		return nil, fmt.Errorf("plan: effort length %d want %d", len(effort), region.NumCells())
+	}
+	if T < 2 || K < 1 {
+		return nil, errors.New("plan: need T ≥ 2 and K ≥ 1")
+	}
+	remaining := append([]float64(nil), effort...)
+	var routes []Route
+	for k := 0; k < K; k++ {
+		route := bestEffortWalk(region, remaining, T)
+		routes = append(routes, route)
+		// Consume mass: every visit eats up to one unit of remaining effort
+		// (efforts are in km ≈ one visit per km of planned presence).
+		for _, c := range route.Cells[1:] {
+			if remaining[c] > 1 {
+				remaining[c] -= 1
+			} else {
+				remaining[c] = 0
+			}
+		}
+	}
+	return routes, nil
+}
+
+// bestEffortWalk finds a T-step closed walk from the post maximizing
+// collected remaining effort by dynamic programming over the time-unrolled
+// graph. Each visit to a cell collects min(remaining, 1) on first visit
+// within the DP approximation (revisits collect the same score, a small
+// overcount the consumption step corrects across routes).
+func bestEffortWalk(region *Region, remaining []float64, T int) Route {
+	n := region.NumCells()
+	reward := make([]float64, n)
+	for i, r := range remaining {
+		if r > 1 {
+			reward[i] = 1
+		} else {
+			reward[i] = r
+		}
+	}
+	// DP identical to the Frank-Wolfe oracle.
+	f := &fwProblem{region: region, T: T, K: 1}
+	// bestPath maximizes Σ visits·w, so w = reward.
+	_ = f
+	score := make([]float64, n)
+	next := make([]float64, n)
+	parents := make([][]int32, T+1)
+	for t := range parents {
+		parents[t] = make([]int32, n)
+	}
+	negInf := -1e300
+	for v := range score {
+		score[v] = negInf
+	}
+	score[0] = 0
+	for t := 1; t <= T; t++ {
+		for v := 0; v < n; v++ {
+			next[v] = negInf
+			parents[t][v] = -1
+		}
+		for u := 0; u < n; u++ {
+			if score[u] == negInf {
+				continue
+			}
+			if s := score[u] + reward[u]; s > next[u] {
+				next[u] = s
+				parents[t][u] = int32(u)
+			}
+			for _, v := range region.Neighbors[u] {
+				if s := score[u] + reward[v]; s > next[v] {
+					next[v] = s
+					parents[t][v] = int32(u)
+				}
+			}
+		}
+		score, next = next, score
+	}
+	cells := make([]int, T+1)
+	cur := 0
+	for t := T; t >= 1; t-- {
+		cells[t] = cur
+		p := parents[t][cur]
+		if p < 0 {
+			// Degenerate region: stay at the post.
+			for i := 0; i <= T; i++ {
+				cells[i] = 0
+			}
+			return Route{Cells: cells}
+		}
+		cur = int(p)
+	}
+	cells[0] = cur
+	return Route{Cells: cells}
+}
+
+// RouteCoverage sums, per region cell, the number of visits across routes —
+// the executed analogue of the planned effort (in visit units; multiply by
+// the per-visit kilometreage to compare with effort).
+func RouteCoverage(region *Region, routes []Route) []float64 {
+	cov := make([]float64, region.NumCells())
+	for _, r := range routes {
+		for _, c := range r.Cells[1:] {
+			cov[c]++
+		}
+	}
+	return cov
+}
+
+// ValidateRoute checks that a route is executable: starts and ends at the
+// post and every move is a self-loop or region adjacency.
+func ValidateRoute(region *Region, r Route) error {
+	if len(r.Cells) < 2 {
+		return errors.New("plan: route too short")
+	}
+	if r.Cells[0] != 0 || r.Cells[len(r.Cells)-1] != 0 {
+		return errors.New("plan: route must start and end at the post")
+	}
+	for i := 1; i < len(r.Cells); i++ {
+		u, v := r.Cells[i-1], r.Cells[i]
+		if u == v {
+			continue // waiting in place
+		}
+		ok := false
+		for _, nb := range region.Neighbors[u] {
+			if nb == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("plan: illegal move %d→%d at step %d", u, v, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package poach
+
+import (
+	"fmt"
+
+	"paws/internal/geo"
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// Observation is a SMART-style ranger record: a detected poaching sign
+// (snare, cartridge, slain animal) or a non-poaching observation, located in
+// a cell during a month.
+type Observation struct {
+	Month    int
+	CellID   int
+	Poaching bool
+}
+
+// History is the complete simulated record for one park: the raw waypoint
+// stream (what the dataset layer rebuilds effort from), the observation log,
+// and the hidden truths (per-month effort, attacks, detections) kept for
+// evaluation and field tests.
+type History struct {
+	Park   *geo.Park
+	Truth  *GroundTruth
+	Months int
+
+	Waypoints    []Waypoint
+	Observations []Observation
+
+	// Effort[m][cell] is the true km patrolled (hidden from the pipeline,
+	// which must rebuild it from waypoints).
+	Effort [][]float64
+	// Attacked[m][cell] and Detected[m][cell] are the hidden outcomes.
+	Attacked [][]bool
+	Detected [][]bool
+}
+
+// SimConfig bundles everything needed to simulate a park's history.
+type SimConfig struct {
+	Seed   int64
+	Months int
+	Patrol PatrolConfig
+	// TargetPositiveRate calibrates the attack bias so the positive-label
+	// rate over patrolled cell-months approximates this value.
+	TargetPositiveRate float64
+	Deterrence         float64
+	SeasonalAmp        float64
+	DetectLambda       float64
+	// HiddenAmp scales the unobserved spatial risk field (see
+	// poach.NewGroundTruth); it bounds the best achievable AUC.
+	HiddenAmp float64
+	// TemporalNoise is the per-(cell,month) standard deviation of transient
+	// logit noise applied when sampling attacks (poaching opportunism).
+	TemporalNoise float64
+	// SignalGain concentrates true risk into hot spots (default 1; see
+	// poach.GroundTruth.SignalGain).
+	SignalGain float64
+	// NonPoachingRate is the per-visited-cell-month probability of logging a
+	// non-poaching observation (animals seen, campsites, etc.).
+	NonPoachingRate float64
+}
+
+// MFNPSim returns simulation parameters for Murchison Falls: foot patrols,
+// dense waypoints, high poaching prevalence (Table I: 14.3% positives).
+func MFNPSim(seed int64) SimConfig {
+	return SimConfig{
+		Seed:   seed,
+		Months: 72,
+		Patrol: PatrolConfig{
+			PatrolsPerPostMonth: 4,
+			LengthKM:            19,
+			RecordEvery:         1,
+			RoadBias:            0.25,
+			AttractBias:         0.6,
+			Roam:                0.6,
+		},
+		TargetPositiveRate: 0.143,
+		Deterrence:         0.35,
+		SeasonalAmp:        0,
+		DetectLambda:       0.35,
+		HiddenAmp:          1.8,
+		TemporalNoise:      1.2,
+		SignalGain:         1.9,
+		NonPoachingRate:    0.10,
+	}
+}
+
+// QENPSim returns simulation parameters for Queen Elizabeth: foot patrols,
+// lower prevalence (Table I: 4.7% positives).
+func QENPSim(seed int64) SimConfig {
+	return SimConfig{
+		Seed:   seed,
+		Months: 72,
+		Patrol: PatrolConfig{
+			PatrolsPerPostMonth: 5,
+			LengthKM:            19,
+			RecordEvery:         1,
+			RoadBias:            0.3,
+			AttractBias:         0.5,
+			Roam:                0.6,
+		},
+		TargetPositiveRate: 0.047,
+		Deterrence:         0.35,
+		SeasonalAmp:        0,
+		DetectLambda:       0.35,
+		HiddenAmp:          1.7,
+		TemporalNoise:      1.2,
+		SignalGain:         1.9,
+		NonPoachingRate:    0.10,
+	}
+}
+
+// SWSSim returns simulation parameters for Srepok: motorbike patrols (long,
+// sparse waypoints, less careful observation → lower detection rate), very
+// low prevalence (Table I: 0.36% positives), strong seasonality.
+func SWSSim(seed int64) SimConfig {
+	return SimConfig{
+		Seed:   seed,
+		Months: 72,
+		Patrol: PatrolConfig{
+			PatrolsPerPostMonth: 13,
+			LengthKM:            38,
+			RecordEvery:         3,
+			RoadBias:            0.5,
+			AttractBias:         0.35,
+			Roam:                0.6,
+			WetSeasonRiverBlock: true,
+		},
+		TargetPositiveRate: 0.0036,
+		Deterrence:         0.25,
+		SeasonalAmp:        0.8,
+		DetectLambda:       0.18,
+		HiddenAmp:          1.8,
+		TemporalNoise:      1.3,
+		SignalGain:         3.2,
+		NonPoachingRate:    0.05,
+	}
+}
+
+// SimByName returns the simulation preset matching a park preset name.
+func SimByName(name string, seed int64) (SimConfig, bool) {
+	switch name {
+	case "MFNP":
+		return MFNPSim(seed), true
+	case "QENP":
+		return QENPSim(seed), true
+	case "SWS":
+		return SWSSim(seed), true
+	}
+	return SimConfig{}, false
+}
+
+// Simulate runs the full generative process: patrols for every month, bias
+// calibration against the realized patrolled points, then attack and
+// detection sampling.
+func Simulate(park *geo.Park, cfg SimConfig) (*History, error) {
+	if cfg.Months <= 0 {
+		return nil, fmt.Errorf("poach: months must be positive, got %d", cfg.Months)
+	}
+	root := rng.New(cfg.Seed)
+	gt := NewGroundTruth(park, cfg.Deterrence, cfg.SeasonalAmp, cfg.DetectLambda, cfg.HiddenAmp)
+	if cfg.SignalGain > 0 {
+		gt.SetSignalGain(cfg.SignalGain)
+	}
+
+	h := &History{Park: park, Truth: gt, Months: cfg.Months}
+	h.Effort = make([][]float64, cfg.Months)
+	h.Attacked = make([][]bool, cfg.Months)
+	h.Detected = make([][]bool, cfg.Months)
+
+	// Pass 1: patrol effort (independent of attacks).
+	patrolRNG := root.Split("patrols")
+	pid := 0
+	for m := 0; m < cfg.Months; m++ {
+		wps, eff := SimulatePatrolMonth(park, cfg.Patrol, m, pid, patrolRNG)
+		if len(wps) > 0 {
+			pid = wps[len(wps)-1].PatrolID + 1
+		}
+		h.Waypoints = append(h.Waypoints, wps...)
+		h.Effort[m] = eff
+	}
+
+	// Calibrate the attack bias on the realized patrolled points.
+	var cCells []int
+	var cEfforts []float64
+	var cMonths []int
+	for m := 0; m < cfg.Months; m++ {
+		for id, e := range h.Effort[m] {
+			if e > 0 {
+				cCells = append(cCells, id)
+				cEfforts = append(cEfforts, e)
+				cMonths = append(cMonths, m)
+			}
+		}
+	}
+	if _, err := gt.Calibrate(cCells, cEfforts, cMonths, cfg.TargetPositiveRate); err != nil {
+		return nil, err
+	}
+
+	// Pass 2: attacks and detections.
+	attackRNG := root.Split("attacks")
+	obsRNG := root.Split("observations")
+	n := park.Grid.NumCells()
+	for m := 0; m < cfg.Months; m++ {
+		h.Attacked[m] = make([]bool, n)
+		h.Detected[m] = make([]bool, n)
+		for id := 0; id < n; id++ {
+			prev := 0.0
+			if m > 0 {
+				prev = h.Effort[m-1][id]
+			}
+			logit := gt.AttackLogit(id, m, prev)
+			if cfg.TemporalNoise > 0 {
+				logit += attackRNG.Normal(0, cfg.TemporalNoise)
+			}
+			if !attackRNG.Bernoulli(stats.Logistic(logit)) {
+				continue
+			}
+			h.Attacked[m][id] = true
+			if attackRNG.Bernoulli(gt.DetectProb(h.Effort[m][id])) {
+				h.Detected[m][id] = true
+				h.Observations = append(h.Observations, Observation{Month: m, CellID: id, Poaching: true})
+			}
+		}
+		// Non-poaching observations in visited cells.
+		for id := 0; id < n; id++ {
+			if h.Effort[m][id] > 0 && obsRNG.Bernoulli(cfg.NonPoachingRate) {
+				h.Observations = append(h.Observations, Observation{Month: m, CellID: id, Poaching: false})
+			}
+		}
+	}
+	return h, nil
+}
+
+// PositiveRate returns the fraction of patrolled cell-months with a
+// detection — the raw analogue of Table I's "% positive labels".
+func (h *History) PositiveRate() float64 {
+	var pos, tot int
+	for m := 0; m < h.Months; m++ {
+		for id, e := range h.Effort[m] {
+			if e > 0 {
+				tot++
+				if h.Detected[m][id] {
+					pos++
+				}
+			}
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(pos) / float64(tot)
+}
+
+// TotalEffort returns the per-cell effort summed over [fromMonth, toMonth).
+func (h *History) TotalEffort(fromMonth, toMonth int) []float64 {
+	n := h.Park.Grid.NumCells()
+	out := make([]float64, n)
+	for m := fromMonth; m < toMonth && m < h.Months; m++ {
+		if m < 0 {
+			continue
+		}
+		for id, e := range h.Effort[m] {
+			out[id] += e
+		}
+	}
+	return out
+}

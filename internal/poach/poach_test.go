@@ -1,0 +1,327 @@
+package poach
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paws/internal/geo"
+	"paws/internal/rng"
+)
+
+// smallPark builds a fast test park.
+func smallPark(t *testing.T, seed int64) *geo.Park {
+	t.Helper()
+	cfg := geo.ParkConfig{
+		Name: "TEST", Seed: seed, W: 24, H: 24, TargetCells: 420,
+		Shape: geo.ShapeRound, NumRivers: 2, NumRoads: 2, NumVillages: 3,
+		NumPosts: 3, ExtraFeatures: 2,
+	}
+	p, err := geo.GeneratePark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func smallSim(seed int64) SimConfig {
+	return SimConfig{
+		Seed:   seed,
+		Months: 24,
+		Patrol: PatrolConfig{
+			PatrolsPerPostMonth: 3,
+			LengthKM:            10,
+			RecordEvery:         1,
+			RoadBias:            0.3,
+			AttractBias:         0.5,
+		},
+		TargetPositiveRate: 0.12,
+		Deterrence:         0.3,
+		SeasonalAmp:        0,
+		DetectLambda:       0.5,
+		NonPoachingRate:    0.08,
+	}
+}
+
+func TestDetectProbMonotoneSaturating(t *testing.T) {
+	p := smallPark(t, 1)
+	gt := NewGroundTruth(p, 0.3, 0, 0.5, 0)
+	if gt.DetectProb(0) != 0 {
+		t.Fatal("zero effort must give zero detection")
+	}
+	if gt.DetectProb(-1) != 0 {
+		t.Fatal("negative effort must give zero detection")
+	}
+	prev := 0.0
+	for e := 0.1; e < 20; e += 0.1 {
+		d := gt.DetectProb(e)
+		if d <= prev-1e-15 {
+			t.Fatalf("DetectProb not monotone at %v", e)
+		}
+		if d < 0 || d >= 1 {
+			t.Fatalf("DetectProb out of [0,1): %v", d)
+		}
+		prev = d
+	}
+	if gt.DetectProb(100) < 0.99 {
+		t.Fatal("DetectProb should saturate toward 1")
+	}
+}
+
+func TestAttackProbDeterrence(t *testing.T) {
+	p := smallPark(t, 2)
+	gt := NewGroundTruth(p, 0.5, 0, 0.5, 0)
+	// More previous effort must reduce attack probability.
+	p0 := gt.AttackProb(10, 0, 0)
+	p1 := gt.AttackProb(10, 0, 2)
+	if p1 >= p0 {
+		t.Fatalf("deterrence failed: %v >= %v", p1, p0)
+	}
+}
+
+func TestAttackProbBounds(t *testing.T) {
+	p := smallPark(t, 3)
+	gt := NewGroundTruth(p, 0.3, 0.5, 0.5, 0)
+	f := func(cell uint16, month uint8, eff float64) bool {
+		id := int(cell) % p.Grid.NumCells()
+		e := math.Abs(eff)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			e = 1
+		}
+		pr := gt.AttackProb(id, int(month), e)
+		return pr >= 0 && pr <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrySeason(t *testing.T) {
+	// Nov(10), Dec(11), Jan(0), Feb(1), Mar(2), Apr(3) are dry.
+	dry := []int{0, 1, 2, 3, 10, 11, 12, 13, 22, 23}
+	wet := []int{4, 5, 6, 7, 8, 9, 16, 21}
+	for _, m := range dry {
+		if !DrySeason(m) {
+			t.Fatalf("month %d should be dry", m)
+		}
+	}
+	for _, m := range wet {
+		if DrySeason(m) {
+			t.Fatalf("month %d should be wet", m)
+		}
+	}
+}
+
+func TestSeasonalShiftFlips(t *testing.T) {
+	p := smallPark(t, 4)
+	gt := NewGroundTruth(p, 0.3, 1.0, 0.5, 0)
+	// Find a northern cell.
+	north := -1
+	for id := 0; id < p.Grid.NumCells(); id++ {
+		if p.NorthSouth.V[id] == 1 {
+			north = id
+			break
+		}
+	}
+	if north < 0 {
+		t.Skip("no northern cell")
+	}
+	dry := gt.AttackProb(north, 0, 0) // Jan = dry
+	wet := gt.AttackProb(north, 6, 0) // Jul = wet
+	if dry <= wet {
+		t.Fatalf("northern cell should be riskier in dry season: dry=%v wet=%v", dry, wet)
+	}
+}
+
+func TestCalibrateHitsTarget(t *testing.T) {
+	p := smallPark(t, 5)
+	gt := NewGroundTruth(p, 0.3, 0, 0.5, 0)
+	r := rng.New(6)
+	var cells []int
+	var efforts []float64
+	var months []int
+	for i := 0; i < 3000; i++ {
+		cells = append(cells, r.Intn(p.Grid.NumCells()))
+		efforts = append(efforts, 0.5+3*r.Float64())
+		months = append(months, r.Intn(24))
+	}
+	for _, target := range []float64{0.005, 0.05, 0.15} {
+		got, err := gt.Calibrate(cells, efforts, months, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-target) > target*0.02+1e-6 {
+			t.Fatalf("calibrated rate %v for target %v", got, target)
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	p := smallPark(t, 7)
+	gt := NewGroundTruth(p, 0.3, 0, 0.5, 0)
+	if _, err := gt.Calibrate([]int{1}, []float64{1, 2}, []int{0}, 0.1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := gt.Calibrate(nil, nil, nil, 0.1); err == nil {
+		t.Fatal("expected empty-points error")
+	}
+}
+
+func TestSimulatePatrolMonthEffortMatchesWalk(t *testing.T) {
+	p := smallPark(t, 8)
+	cfg := smallSim(9).Patrol
+	wps, effort := SimulatePatrolMonth(p, cfg, 0, 0, rng.New(10))
+	if len(wps) == 0 {
+		t.Fatal("no waypoints generated")
+	}
+	var total float64
+	touched := 0
+	for _, e := range effort {
+		if e < 0 {
+			t.Fatal("negative effort")
+		}
+		if e > 0 {
+			touched++
+		}
+		total += e
+	}
+	if touched == 0 || total == 0 {
+		t.Fatal("patrols generated no effort")
+	}
+	// Effort should be within the theoretical ceiling: patrols × length × √2.
+	ceiling := float64(len(p.Posts)*cfg.PatrolsPerPostMonth*cfg.LengthKM) * math.Sqrt2
+	if total > ceiling {
+		t.Fatalf("total effort %v exceeds ceiling %v", total, ceiling)
+	}
+	// Waypoints must be inside the lattice frame and ordered within patrols.
+	for _, w := range wps {
+		if w.X < 0 || w.Y < 0 || w.X > float64(p.Grid.W) || w.Y > float64(p.Grid.H) {
+			t.Fatalf("waypoint out of frame: %+v", w)
+		}
+	}
+}
+
+func TestWaypointDensityReflectsRecordEvery(t *testing.T) {
+	p := smallPark(t, 11)
+	cfgDense := smallSim(1).Patrol
+	cfgSparse := cfgDense
+	cfgSparse.RecordEvery = 4
+	wpsDense, _ := SimulatePatrolMonth(p, cfgDense, 0, 0, rng.New(2))
+	wpsSparse, _ := SimulatePatrolMonth(p, cfgSparse, 0, 0, rng.New(2))
+	if len(wpsSparse) >= len(wpsDense) {
+		t.Fatalf("sparse recording should produce fewer waypoints: %d vs %d", len(wpsSparse), len(wpsDense))
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	p := smallPark(t, 12)
+	h, err := Simulate(p, smallSim(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Months != 24 || len(h.Effort) != 24 {
+		t.Fatal("month bookkeeping wrong")
+	}
+	// Positive rate should land near the calibration target.
+	rate := h.PositiveRate()
+	if rate < 0.05 || rate > 0.25 {
+		t.Fatalf("positive rate %v far from target 0.12", rate)
+	}
+	// Every detection implies an attack and positive effort.
+	for m := 0; m < h.Months; m++ {
+		for id := range h.Detected[m] {
+			if h.Detected[m][id] {
+				if !h.Attacked[m][id] {
+					t.Fatal("detection without attack")
+				}
+				if h.Effort[m][id] <= 0 {
+					t.Fatal("detection without patrol effort")
+				}
+			}
+		}
+	}
+	// Observations must be consistent with the detection matrix.
+	for _, o := range h.Observations {
+		if o.Poaching && !h.Detected[o.Month][o.CellID] {
+			t.Fatal("poaching observation without detection")
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := smallPark(t, 14)
+	h1, err := Simulate(p, smallSim(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Simulate(p, smallSim(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Observations) != len(h2.Observations) || len(h1.Waypoints) != len(h2.Waypoints) {
+		t.Fatal("simulation is not deterministic")
+	}
+	if h1.Truth.Bias != h2.Truth.Bias {
+		t.Fatal("calibration differs between identical runs")
+	}
+}
+
+func TestSimulateInvalidMonths(t *testing.T) {
+	p := smallPark(t, 16)
+	cfg := smallSim(17)
+	cfg.Months = 0
+	if _, err := Simulate(p, cfg); err == nil {
+		t.Fatal("expected error for zero months")
+	}
+}
+
+func TestTotalEffort(t *testing.T) {
+	p := smallPark(t, 18)
+	h, err := Simulate(p, smallSim(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := h.TotalEffort(0, h.Months)
+	var sum float64
+	for _, e := range tot {
+		sum += e
+	}
+	var direct float64
+	for m := 0; m < h.Months; m++ {
+		for _, e := range h.Effort[m] {
+			direct += e
+		}
+	}
+	if math.Abs(sum-direct) > 1e-9 {
+		t.Fatal("TotalEffort does not sum per-month effort")
+	}
+	// Out-of-range months are clipped harmlessly.
+	clip := h.TotalEffort(-5, h.Months+10)
+	var clipSum float64
+	for _, e := range clip {
+		clipSum += e
+	}
+	if math.Abs(clipSum-direct) > 1e-9 {
+		t.Fatal("TotalEffort clipping wrong")
+	}
+}
+
+func TestSimPresets(t *testing.T) {
+	for _, name := range []string{"MFNP", "QENP", "SWS"} {
+		cfg, ok := SimByName(name, 1)
+		if !ok {
+			t.Fatalf("missing sim preset %q", name)
+		}
+		if cfg.Months != 72 {
+			t.Fatalf("%s: expected 6 years of history", name)
+		}
+	}
+	if _, ok := SimByName("NOPE", 1); ok {
+		t.Fatal("unknown sim preset should return false")
+	}
+	// SWS is the seasonal motorbike park.
+	sws, _ := SimByName("SWS", 1)
+	if !sws.Patrol.WetSeasonRiverBlock || sws.Patrol.RecordEvery < 2 || sws.SeasonalAmp == 0 {
+		t.Fatal("SWS preset should model motorbikes and seasonality")
+	}
+}

@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(1)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	// Different labels must give different streams (overwhelmingly likely).
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("split streams with different labels are identical")
+	}
+	// Same label from a fresh root must reproduce.
+	c := New(1).Split("alpha")
+	d := New(1).Split("alpha")
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("split streams with same label differ")
+		}
+	}
+}
+
+func TestSplitDoesNotConsumeParent(t *testing.T) {
+	a := New(5)
+	first := a.Float64()
+	b := New(5)
+	_ = b.Split("x")
+	if b.Float64() != first {
+		t.Fatal("Split must not consume the parent stream")
+	}
+}
+
+func TestSplitHierarchical(t *testing.T) {
+	r := New(9)
+	ab := r.Split("a").Split("b")
+	ba := r.Split("b").Split("a")
+	if ab.Float64() == ba.Float64() {
+		t.Fatal("hierarchical splits should depend on order")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 50; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(11)
+	const n = 20000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			count++
+		}
+	}
+	p := float64(count) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.1 {
+		t.Fatalf("mean = %v want 2", mean)
+	}
+	if math.Abs(variance-9) > 0.5 {
+		t.Fatalf("variance = %v want 9", variance)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+	if r.IntRange(5, 5) != 5 {
+		t.Fatal("empty range should return lo")
+	}
+	if r.IntRange(5, 2) != 5 {
+		t.Fatal("inverted range should return lo")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(19)
+	got := r.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	all := r.SampleWithoutReplacement(5, 10)
+	if len(all) != 5 {
+		t.Fatalf("k>n should return n items, got %d", len(all))
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := New(23)
+	if r.Poisson(0) != 0 || r.Poisson(-2) != 0 {
+		t.Fatal("Poisson with lambda<=0 should be 0")
+	}
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(4))
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.15 {
+		t.Fatalf("Poisson mean = %v want 4", mean)
+	}
+	// Large-lambda branch.
+	var sumL float64
+	for i := 0; i < 5000; i++ {
+		sumL += float64(r.Poisson(100))
+	}
+	if mean := sumL / 5000; math.Abs(mean-100) > 2 {
+		t.Fatalf("Poisson(100) mean = %v", mean)
+	}
+}
+
+func TestSeed(t *testing.T) {
+	if New(77).Seed() != 77 {
+		t.Fatal("Seed not recorded")
+	}
+}

@@ -1,0 +1,307 @@
+// Package paws is a from-scratch Go reproduction of the Protection
+// Assistant for Wildlife Security (PAWS) pipeline described in "Stay Ahead
+// of Poachers: Illegal Wildlife Poaching Prediction and Patrol Planning
+// Under Uncertainty with Field Test Evaluations" (ICDE 2020).
+//
+// The package ties together the substrates in internal/…:
+//
+//   - Scenario: a synthetic park (geo), its simulated SMART-style patrol
+//     history (poach), and the processed dataset (dataset).
+//   - Model: the six predictive variants of Table II — bagging ensembles of
+//     SVMs, decision trees, or Gaussian processes, each with or without the
+//     iWare-E wrapper — trained with one call.
+//   - PlannerModel: the adapter exposing a trained model's effort-conditioned
+//     detection probability g_v(c) and squashed uncertainty ν_v(c) to the
+//     patrol planner (plan, game).
+//   - Field tests (field) driven by a trained model's risk map.
+//
+// Every entry point takes an explicit seed and is deterministic.
+package paws
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"paws/internal/dataset"
+	"paws/internal/geo"
+	"paws/internal/iware"
+	"paws/internal/ml"
+	"paws/internal/ml/bagging"
+	"paws/internal/ml/gp"
+	"paws/internal/ml/svm"
+	"paws/internal/ml/tree"
+	"paws/internal/poach"
+	"paws/internal/stats"
+)
+
+// Scenario bundles a park with its simulated history and processed datasets.
+type Scenario struct {
+	Park    *geo.Park
+	History *poach.History
+	// Data is the standard quarterly dataset.
+	Data *dataset.Dataset
+	// DryData is the dry-season dataset (nil for non-seasonal parks).
+	DryData *dataset.Dataset
+}
+
+// NewScenario generates a preset park ("MFNP", "QENP" or "SWS") with its
+// 6-year history and datasets.
+func NewScenario(name string, seed int64) (*Scenario, error) {
+	parkCfg, ok := geo.PresetByName(name, seed)
+	if !ok {
+		return nil, fmt.Errorf("paws: unknown park preset %q", name)
+	}
+	simCfg, _ := poach.SimByName(name, seed+1)
+	return NewCustomScenario(parkCfg, simCfg)
+}
+
+// NewCustomScenario generates a scenario from explicit configurations.
+func NewCustomScenario(parkCfg geo.ParkConfig, simCfg poach.SimConfig) (*Scenario, error) {
+	park, err := geo.GeneratePark(parkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("paws: generate park: %w", err)
+	}
+	hist, err := poach.Simulate(park, simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("paws: simulate history: %w", err)
+	}
+	data, err := dataset.Build(hist, dataset.StandardConfig())
+	if err != nil {
+		return nil, fmt.Errorf("paws: build dataset: %w", err)
+	}
+	s := &Scenario{Park: park, History: hist, Data: data}
+	if parkCfg.Seasonal {
+		dry, err := dataset.Build(hist, dataset.DrySeasonConfig())
+		if err != nil {
+			return nil, fmt.Errorf("paws: build dry dataset: %w", err)
+		}
+		s.DryData = dry
+	}
+	return s, nil
+}
+
+// ModelKind selects one of the six Table II predictive models.
+type ModelKind int
+
+const (
+	// SVB is a bagging ensemble of linear SVMs.
+	SVB ModelKind = iota
+	// DTB is a bagging ensemble of decision trees (a random forest).
+	DTB
+	// GPB is a bagging ensemble of Gaussian-process classifiers.
+	GPB
+	// SVBiW is SVB wrapped in iWare-E.
+	SVBiW
+	// DTBiW is DTB wrapped in iWare-E.
+	DTBiW
+	// GPBiW is GPB wrapped in iWare-E — the paper's preferred model.
+	GPBiW
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case SVB:
+		return "SVB"
+	case DTB:
+		return "DTB"
+	case GPB:
+		return "GPB"
+	case SVBiW:
+		return "SVB-iW"
+	case DTBiW:
+		return "DTB-iW"
+	case GPBiW:
+		return "GPB-iW"
+	}
+	return fmt.Sprintf("ModelKind(%d)", int(k))
+}
+
+// IsIWare reports whether the kind uses the iWare-E wrapper.
+func (k ModelKind) IsIWare() bool { return k == SVBiW || k == DTBiW || k == GPBiW }
+
+// TrainOptions tunes model training. Zero values select paper-flavoured
+// defaults scaled for interactive use.
+type TrainOptions struct {
+	Kind ModelKind
+	// Thresholds is the iWare-E threshold-ladder size (paper: 20 for
+	// MFNP/QENP, 10 for SWS). Default 10.
+	Thresholds int
+	// MaxThresholdPercentile is the top percentile for the ladder
+	// (default 80).
+	MaxThresholdPercentile float64
+	// Members is the bagging ensemble size (default 10).
+	Members int
+	// Balanced enables balanced bagging — undersampling negatives — the
+	// paper's remedy for SWS-grade imbalance.
+	Balanced bool
+	// CVFolds enables iWare-E weight optimization (0 = uniform weights).
+	CVFolds int
+	// GPMaxTrain caps each GP's training subsample (default 150).
+	GPMaxTrain int
+	// TreeDepth caps decision-tree depth (default 10).
+	TreeDepth int
+	Seed      int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Thresholds <= 0 {
+		o.Thresholds = 10
+	}
+	if o.MaxThresholdPercentile <= 0 {
+		o.MaxThresholdPercentile = 80
+	}
+	if o.Members <= 0 {
+		o.Members = 10
+	}
+	if o.GPMaxTrain <= 0 {
+		o.GPMaxTrain = 150
+	}
+	if o.TreeDepth <= 0 {
+		o.TreeDepth = 10
+	}
+	return o
+}
+
+// Model is a trained predictive model, either a plain bagging ensemble or an
+// iWare-E ensemble of them.
+type Model struct {
+	Kind ModelKind
+	opts TrainOptions
+
+	plain *bagging.Ensemble
+	iw    *iware.Model
+}
+
+// weakLearnerFactory builds the base bagging ensemble for the model family.
+func weakLearnerFactory(kind ModelKind, o TrainOptions, numFeatures int) ml.Factory {
+	var base ml.Factory
+	switch kind {
+	case SVB, SVBiW:
+		base = func(seed int64) ml.Classifier {
+			return svm.New(svm.Config{Epochs: 12, Seed: seed, ClassWeighted: true})
+		}
+	case DTB, DTBiW:
+		mf := int(math.Sqrt(float64(numFeatures)) + 0.5)
+		base = func(seed int64) ml.Classifier {
+			return tree.New(tree.Config{MaxDepth: o.TreeDepth, MinLeaf: 2, MaxFeatures: mf, Seed: seed})
+		}
+	case GPB, GPBiW:
+		base = func(seed int64) ml.Classifier {
+			return gp.New(gp.Config{MaxTrain: o.GPMaxTrain, Seed: seed})
+		}
+	}
+	return func(seed int64) ml.Classifier {
+		return bagging.New(base, bagging.Config{
+			Members:  o.Members,
+			Balanced: o.Balanced,
+			Seed:     seed,
+		})
+	}
+}
+
+// Train fits the selected model on training points.
+func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
+	if len(train) == 0 {
+		return nil, errors.New("paws: no training points")
+	}
+	o := opts.withDefaults()
+	X := make([][]float64, len(train))
+	y := make([]int, len(train))
+	eff := make([]float64, len(train))
+	for i, p := range train {
+		X[i] = p.Features
+		y[i] = p.Label
+		eff[i] = p.Effort
+	}
+	m := &Model{Kind: o.Kind, opts: o}
+	factory := weakLearnerFactory(o.Kind, o, len(X[0]))
+	if !o.Kind.IsIWare() {
+		ens := factory(o.Seed).(*bagging.Ensemble)
+		if err := ens.Fit(X, y); err != nil {
+			return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+		}
+		m.plain = ens
+		return m, nil
+	}
+	thresholds := dataset.EffortPercentileThresholds(train, o.Thresholds, o.MaxThresholdPercentile)
+	iw, err := iware.Fit(X, y, eff, iware.Config{
+		Thresholds:  thresholds,
+		WeakLearner: factory,
+		CVFolds:     o.CVFolds,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+	}
+	m.iw = iw
+	return m, nil
+}
+
+// TrainWithThresholds trains an iWare-E model with an explicit threshold
+// ladder instead of the percentile-derived one — used by the threshold
+// ablation (the original iWare-E used fixed-kilometre grids).
+func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts TrainOptions) (*Model, error) {
+	if len(train) == 0 {
+		return nil, errors.New("paws: no training points")
+	}
+	o := opts.withDefaults()
+	if !o.Kind.IsIWare() {
+		return nil, errors.New("paws: explicit thresholds require an iWare-E kind")
+	}
+	X := make([][]float64, len(train))
+	y := make([]int, len(train))
+	eff := make([]float64, len(train))
+	for i, p := range train {
+		X[i] = p.Features
+		y[i] = p.Label
+		eff[i] = p.Effort
+	}
+	iw, err := iware.Fit(X, y, eff, iware.Config{
+		Thresholds:  thresholds,
+		WeakLearner: weakLearnerFactory(o.Kind, o, len(X[0])),
+		CVFolds:     o.CVFolds,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+	}
+	return &Model{Kind: o.Kind, opts: o, iw: iw}, nil
+}
+
+// PredictForEffort returns the detection probability for a feature vector at
+// a planned patrol effort. Plain models ignore the effort.
+func (m *Model) PredictForEffort(features []float64, effort float64) float64 {
+	if m.iw != nil {
+		return m.iw.PredictForEffort(features, effort)
+	}
+	return m.plain.PredictProba(features)
+}
+
+// PredictWithVariance additionally returns the model's uncertainty.
+func (m *Model) PredictWithVariance(features []float64, effort float64) (p, variance float64) {
+	if m.iw != nil {
+		return m.iw.PredictWithVarianceForEffort(features, effort)
+	}
+	return m.plain.PredictWithVariance(features)
+}
+
+// PredictPoints scores test points at their recorded efforts.
+func (m *Model) PredictPoints(pts []dataset.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = m.PredictForEffort(p.Features, p.Effort)
+	}
+	return out
+}
+
+// AUC evaluates the model on test points.
+func (m *Model) AUC(pts []dataset.Point) float64 {
+	return stats.AUC(dataset.Labels(pts), m.PredictPoints(pts))
+}
+
+// IWare exposes the underlying iWare-E ensemble (nil for plain models).
+func (m *Model) IWare() *iware.Model { return m.iw }
+
+// Ensemble exposes the underlying bagging ensemble (nil for iWare models).
+func (m *Model) Ensemble() *bagging.Ensemble { return m.plain }

@@ -1,0 +1,151 @@
+package paws
+
+import (
+	"errors"
+	"math"
+
+	"paws/internal/dataset"
+	"paws/internal/iware"
+	"paws/internal/stats"
+)
+
+// PlannerModel adapts a trained Model to the planner's CellModel interface:
+// per-cell detection probability g_v(c) and squashed uncertainty ν_v(c) as
+// functions of planned patrol effort. Feature vectors are frozen at plan
+// time (static features plus the previous step's patrol coverage), and
+// predictions are memoized because the planner queries the same breakpoints
+// for every β in a sweep.
+type PlannerModel struct {
+	model *Model
+	// features[cell] is the frozen feature vector per park cell.
+	features [][]float64
+	// squashLo anchors the squashing: variances at or below the park's 10th
+	// percentile map to ~0 uncertainty.
+	squashLo float64
+	// squashScale spreads the squashing so the 90th-percentile variance maps
+	// to ~0.96 — the paper scales uncertainty scores to [0,1] with a
+	// logistic squashing function before weighting them in the objective.
+	squashScale float64
+
+	cache map[cacheKey][2]float64
+}
+
+type cacheKey struct {
+	cell   int
+	effort float64
+}
+
+// NewPlannerModel freezes features from the dataset as of step prevStep
+// (whose effort becomes the coverage covariate) and calibrates the variance
+// squashing scale on a sample of cells.
+func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel, error) {
+	if m == nil || d == nil {
+		return nil, errors.New("paws: nil model or dataset")
+	}
+	if prevStep < 0 || prevStep >= len(d.Steps) {
+		return nil, errors.New("paws: prevStep out of range")
+	}
+	n := d.Park.Grid.NumCells()
+	nf := d.Park.NumFeatures()
+	pm := &PlannerModel{model: m, cache: map[cacheKey][2]float64{}}
+	pm.features = make([][]float64, n)
+	for cell := 0; cell < n; cell++ {
+		f := make([]float64, nf+1)
+		d.Park.FeatureVector(cell, f[:nf])
+		f[nf] = d.Effort[prevStep][cell]
+		pm.features[cell] = f
+	}
+	// Calibrate the squashing on the park-wide variance distribution at a
+	// moderate effort level: the 10th percentile maps to ~0 and the 90th to
+	// ~0.96, so uncertainty scores use the full [0,1] range (Section VI-C).
+	var vs []float64
+	stride := n/200 + 1
+	for cell := 0; cell < n; cell += stride {
+		_, v := m.PredictWithVariance(pm.features[cell], 2)
+		vs = append(vs, v)
+	}
+	lo := stats.Percentile(vs, 10)
+	hi := stats.Percentile(vs, 90)
+	pm.squashLo = lo
+	pm.squashScale = (hi - lo) / 4
+	if pm.squashScale <= 1e-12 {
+		pm.squashScale = 1
+	}
+	return pm, nil
+}
+
+// Detect returns g_v(c): the model's detection probability for the cell at
+// planned effort c.
+func (pm *PlannerModel) Detect(cell int, effort float64) float64 {
+	return pm.lookup(cell, effort)[0]
+}
+
+// Uncertainty returns the squashed uncertainty score ν_v(c) ∈ [0, 1).
+func (pm *PlannerModel) Uncertainty(cell int, effort float64) float64 {
+	return pm.lookup(cell, effort)[1]
+}
+
+func (pm *PlannerModel) lookup(cell int, effort float64) [2]float64 {
+	k := cacheKey{cell, effort}
+	if v, ok := pm.cache[k]; ok {
+		return v
+	}
+	p, variance := pm.model.PredictWithVariance(pm.features[cell], effort)
+	out := [2]float64{p, iware.SquashVariance(variance-pm.squashLo, pm.squashScale)}
+	pm.cache[k] = out
+	return out
+}
+
+// SquashScale returns the calibrated variance normalization constant.
+func (pm *PlannerModel) SquashScale() float64 { return pm.squashScale }
+
+// RiskMap evaluates the model over every park cell at a nominal effort,
+// returning the per-cell detection probabilities (Fig. 6 red maps).
+func (pm *PlannerModel) RiskMap(effort float64) []float64 {
+	out := make([]float64, len(pm.features))
+	for cell := range pm.features {
+		out[cell] = pm.Detect(cell, effort)
+	}
+	return out
+}
+
+// UncertaintyMap evaluates the squashed uncertainty over every park cell at
+// a nominal effort (Fig. 6 green maps).
+func (pm *PlannerModel) UncertaintyMap(effort float64) []float64 {
+	out := make([]float64, len(pm.features))
+	for cell := range pm.features {
+		out[cell] = pm.Uncertainty(cell, effort)
+	}
+	return out
+}
+
+// RawVarianceMap returns the unsquashed predictive variance per cell at a
+// nominal effort (used for the Fig. 7 correlation study).
+func (pm *PlannerModel) RawVarianceMap(effort float64) []float64 {
+	out := make([]float64, len(pm.features))
+	for cell := range pm.features {
+		_, v := pm.model.PredictWithVariance(pm.features[cell], effort)
+		out[cell] = v
+	}
+	return out
+}
+
+// NominalEffort suggests a mid-range planning effort: the mean recorded
+// point effort of the dataset, matching the paper's "prediction of the model
+// at a nominal patrol effort, which the rangers will be likely able to
+// achieve".
+func NominalEffort(d *dataset.Dataset) float64 {
+	pts := d.AllPoints()
+	if len(pts) == 0 {
+		return 1
+	}
+	var s float64
+	for _, p := range pts {
+		s += p.Effort
+	}
+	m := s / float64(len(pts))
+	if m <= 0 || math.IsNaN(m) {
+		return 1
+	}
+	return m
+}
