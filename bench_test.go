@@ -386,3 +386,88 @@ func BenchmarkChiSquared(b *testing.B) {
 	}
 	b.ReportMetric(p, "p-value")
 }
+
+// ------------------------------------------------------- Parallel layer
+
+// The benchmarks below size the worker pool to GOMAXPROCS (Workers: 0), so
+// running them with `-cpu 1,4` compares sequential against 4-way parallel
+// wall-clock directly — e.g.
+//
+//	go test -bench 'EnsembleTrain|RiskMapGen|Table2Sweep' -cpu 1,4
+//
+// Outputs are byte-identical across -cpu values (see determinism_test.go);
+// only the wall-clock changes.
+
+// BenchmarkEnsembleTrain measures one GPB-iW training run — the paper's
+// preferred model and the most expensive Table II cell — with member and
+// ladder fits fanned out over the worker pool.
+func BenchmarkEnsembleTrain(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(split.Train, TrainOptions{
+			Kind: GPBiW, Thresholds: 5, Members: 5, GPMaxTrain: 80, Seed: 51, Workers: 0,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRiskMapGen measures full-park risk + uncertainty map generation
+// through the batch prediction API. A fresh PlannerModel per iteration keeps
+// the memo cold so the map evaluation is actually measured.
+func BenchmarkRiskMapGen(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Train(split.Train, TrainOptions{
+		Kind: GPBiW, Thresholds: 5, Members: 5, GPMaxTrain: 80, Seed: 53, Workers: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(benchLastYear(sc))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm, err := NewPlannerModel(m, sc.Data, testFrom-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if risk := pm.RiskMap(2); len(risk) == 0 {
+			b.Fatal("empty risk map")
+		}
+		if unc := pm.UncertaintyMap(2); len(unc) == 0 {
+			b.Fatal("empty uncertainty map")
+		}
+	}
+}
+
+// BenchmarkTable2Sweep measures the whole six-model Table II column for one
+// park fanned out over the worker pool — the multi-model sweep the parallel
+// layer is built for.
+func BenchmarkTable2Sweep(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	var auc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable2ForScenario(sc, "MFNP", Table2Options{
+			TestYears:  []int{benchLastYear(sc)},
+			Thresholds: 5,
+			Members:    5,
+			GPMaxTrain: 80,
+			Seed:       55,
+			Workers:    0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = rows[len(rows)-1].AUC
+	}
+	b.ReportMetric(auc, "AUC-last")
+}

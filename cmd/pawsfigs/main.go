@@ -23,6 +23,7 @@ func main() {
 	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
 	scaleStr := flag.String("scale", "small", "park scale: full or small")
 	seed := flag.Int64("seed", 7, "root random seed")
+	flag.IntVar(&workers, "workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU); output is identical either way")
 	flag.Parse()
 
 	scale, err := paws.ParseScale(*scaleStr)
@@ -55,6 +56,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// workers is the -workers flag: the pool size every figure runner trains and
+// sweeps with (par.Workers semantics; results identical for any count).
+var workers int
+
 // lastYear returns the final simulated year of the scenario's dataset.
 func lastYear(sc *paws.Scenario) int {
 	steps := sc.Data.Steps
@@ -86,6 +91,7 @@ func fig6(park string, scale paws.Scale, seed int64) error {
 		return err
 	}
 	opts := paws.TrainOptionsAt(park, paws.GPBiW, scale, seed)
+	opts.Workers = workers
 	maps, err := paws.RunFig6(sc, paws.GPBiW, lastYear(sc), 3, opts)
 	if err != nil {
 		return err
@@ -109,6 +115,7 @@ func fig7(park string, scale paws.Scale, seed int64) error {
 		return err
 	}
 	opts := paws.TrainOptionsAt(park, paws.GPB, scale, seed)
+	opts.Workers = workers
 	res, err := paws.RunFig7(sc, lastYear(sc), 3, opts)
 	if err != nil {
 		return err
@@ -132,7 +139,8 @@ func planStudy(park string, scale paws.Scale, seed int64) (*paws.PlanStudy, erro
 		return nil, err
 	}
 	opts := paws.PlanStudyOptions{
-		Train: paws.TrainOptionsAt(park, paws.GPBiW, scale, seed),
+		Train:   paws.TrainOptionsAt(park, paws.GPBiW, scale, seed),
+		Workers: workers,
 	}
 	if scale == paws.ScaleSmall {
 		opts.Posts = 3

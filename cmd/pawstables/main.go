@@ -23,6 +23,7 @@ func main() {
 	scaleStr := flag.String("scale", "small", "park scale: full or small")
 	seed := flag.Int64("seed", 7, "root random seed")
 	cvFolds := flag.Int("cv", 0, "iWare-E weight-optimization folds (0 = uniform weights)")
+	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU); output is identical either way")
 	flag.Parse()
 
 	scale, err := paws.ParseScale(*scaleStr)
@@ -31,11 +32,11 @@ func main() {
 	}
 	switch *table {
 	case 1:
-		err = table1(*seed)
+		err = table1(*seed, *workers)
 	case 2:
-		err = table2(scale, *seed, *cvFolds)
+		err = table2(scale, *seed, *cvFolds, *workers)
 	case 3:
-		err = table3(scale, *seed)
+		err = table3(scale, *seed, *workers)
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
 	}
@@ -49,8 +50,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func table1(seed int64) error {
-	rows, err := paws.RunTable1(seed)
+func table1(seed int64, workers int) error {
+	rows, err := paws.RunTable1(seed, workers)
 	if err != nil {
 		return err
 	}
@@ -64,7 +65,7 @@ func table1(seed int64) error {
 	return w.Flush()
 }
 
-func table2(scale paws.Scale, seed int64, cvFolds int) error {
+func table2(scale paws.Scale, seed int64, cvFolds, workers int) error {
 	parks := []struct {
 		name string
 		dry  bool
@@ -96,6 +97,7 @@ func table2(scale paws.Scale, seed int64, cvFolds int) error {
 			Balanced:   base.Balanced,
 			CVFolds:    cvFolds,
 			Seed:       seed,
+			Workers:    workers,
 		})
 		if err != nil {
 			return err
@@ -128,7 +130,7 @@ func table2(scale paws.Scale, seed int64, cvFolds int) error {
 	return nil
 }
 
-func table3(scale paws.Scale, seed int64) error {
+func table3(scale paws.Scale, seed int64, workers int) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "TABLE III: Field test results")
 	fmt.Fprintln(w, "trial\trisk group\t# Obs\t# Cells\tEffort\t# Obs / # Cells")
@@ -162,6 +164,7 @@ func table3(scale paws.Scale, seed int64) error {
 			EffortPerCellMonth: effort,
 			Train:              paws.TrainOptionsAt(tr.park, kind, scale, seed),
 			Seed:               seed,
+			Workers:            workers,
 		})
 		if err != nil {
 			return err

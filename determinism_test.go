@@ -1,0 +1,205 @@
+package paws
+
+// Determinism contract of the parallel execution layer (internal/par): for
+// every model kind, training and prediction with Workers=N must produce
+// byte-identical floats to Workers=1, and the PlannerModel must be safe for
+// concurrent lookups (run these under -race). See par's package doc for the
+// two-part contract (index-owned writes + pre-derived seeds).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// kindOutputs trains one model with the given worker count and returns its
+// test-point predictions plus planner-model risk and uncertainty maps.
+func kindOutputs(t *testing.T, sc *Scenario, kind ModelKind, workers int) (preds, risk, unc []float64) {
+	t.Helper()
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickTrainOpts(kind, 5)
+	opts.Workers = workers
+	if kind.IsIWare() {
+		// Exercise the staged CV fan-out too.
+		opts.CVFolds = 2
+	}
+	m, err := Train(split.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds = m.PredictPoints(split.Test)
+	testFrom, _ := sc.Data.StepsForYear(year)
+	pm, err := NewPlannerModel(m, sc.Data, testFrom-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm.Workers = workers
+	return preds, pm.RiskMap(1.5), pm.UncertaintyMap(1.5)
+}
+
+func assertSameFloats(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s[%d]: %v != %v (parallel run diverged from sequential)", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelDeterminismAllKinds is the headline determinism table: for
+// every Table II model variant, a Workers=4 run of Train → PredictPoints →
+// RiskMap/UncertaintyMap must be byte-identical to the Workers=1 run.
+func TestParallelDeterminismAllKinds(t *testing.T) {
+	sc := smallScenario(t, 21, false)
+	for _, kind := range []ModelKind{SVB, DTB, GPB, SVBiW, DTBiW, GPBiW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p1, r1, u1 := kindOutputs(t, sc, kind, 1)
+			p4, r4, u4 := kindOutputs(t, sc, kind, 4)
+			assertSameFloats(t, "PredictPoints", p1, p4)
+			assertSameFloats(t, "RiskMap", r1, r4)
+			assertSameFloats(t, "UncertaintyMap", u1, u4)
+		})
+	}
+}
+
+// TestBatchPredictionMatchesPointwise pins the public batch API to the
+// pointwise path for both a plain ensemble and an iWare-E model.
+func TestBatchPredictionMatchesPointwise(t *testing.T) {
+	sc := smallScenario(t, 23, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([][]float64, len(split.Test))
+	for i, p := range split.Test {
+		X[i] = p.Features
+	}
+	for _, kind := range []ModelKind{DTB, GPBiW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := Train(split.Train, quickTrainOpts(kind, 9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const effort = 1.3
+			probs := m.PredictForEffortBatch(X, effort)
+			ps, vs := m.PredictWithVarianceBatch(X, effort)
+			for i, x := range X {
+				if want := m.PredictForEffort(x, effort); probs[i] != want {
+					t.Fatalf("point %d: batch %v != pointwise %v", i, probs[i], want)
+				}
+				wp, wv := m.PredictWithVariance(x, effort)
+				if ps[i] != wp || vs[i] != wv {
+					t.Fatalf("point %d: variance batch diverged", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerModelConcurrentLookups hammers one PlannerModel from many
+// goroutines — mixed Detect/Uncertainty/RiskMap calls over overlapping cells
+// and efforts — and checks every value against a sequential reference. Run
+// under -race this doubles as the memo's data-race proof.
+func TestPlannerModelConcurrentLookups(t *testing.T) {
+	sc := smallScenario(t, 27, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(split.Train, quickTrainOpts(DTBiW, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(year)
+	newPM := func() *PlannerModel {
+		pm, err := NewPlannerModel(m, sc.Data, testFrom-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pm
+	}
+	efforts := []float64{0.5, 1, 2}
+	// Sequential reference from a fresh (independently memoized) adapter.
+	ref := newPM()
+	ref.Workers = 1
+	wantDetect := map[float64][]float64{}
+	wantUnc := map[float64][]float64{}
+	for _, e := range efforts {
+		wantDetect[e] = ref.RiskMap(e)
+		wantUnc[e] = ref.UncertaintyMap(e)
+	}
+	pm := newPM()
+	n := sc.Park.Grid.NumCells()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := efforts[g%len(efforts)]
+			if g%4 == 0 {
+				// Whole-map readers race against pointwise readers.
+				assertSameFloats(t, "concurrent RiskMap", wantDetect[e], pm.RiskMap(e))
+				return
+			}
+			for cell := g % 7; cell < n; cell += 7 {
+				if got := pm.Detect(cell, e); got != wantDetect[e][cell] {
+					errCh <- errMismatch(cell, got, wantDetect[e][cell])
+					return
+				}
+				if got := pm.Uncertainty(cell, e); got != wantUnc[e][cell] {
+					errCh <- errMismatch(cell, got, wantUnc[e][cell])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func errMismatch(cell int, got, want float64) error {
+	return fmt.Errorf("concurrent lookup mismatch at cell %d: got %v, want %v", cell, got, want)
+}
+
+// TestTable2SweepDeterminism asserts the experiment-layer fan-out returns
+// the same rows for any worker count.
+func TestTable2SweepDeterminism(t *testing.T) {
+	sc := smallScenario(t, 29, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	run := func(workers int) []Table2Row {
+		rows, err := RunTable2ForScenario(sc, "SMALL", Table2Options{
+			Kinds:      []ModelKind{DTB, DTBiW},
+			TestYears:  []int{year},
+			Thresholds: 4,
+			Members:    4,
+			Seed:       31,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	seq, par4 := run(1), run(4)
+	if len(seq) != len(par4) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par4))
+	}
+	for i := range seq {
+		if seq[i] != par4[i] {
+			t.Fatalf("row %d: %+v != %+v", i, seq[i], par4[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"paws/internal/field"
 	"paws/internal/game"
 	"paws/internal/geo"
+	"paws/internal/par"
 	"paws/internal/plan"
 	"paws/internal/stats"
 )
@@ -25,18 +26,28 @@ import (
 type Table1Row = dataset.Stats
 
 // RunTable1 computes dataset statistics for the three parks plus the SWS
-// dry-season view.
-func RunTable1(seed int64) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range []string{"MFNP", "QENP", "SWS"} {
-		sc, err := NewScenario(name, seed)
+// dry-season view. The three park scenarios generate on up to workers
+// goroutines (par.Workers semantics); rows come back in the fixed park
+// order regardless of which finishes first.
+func RunTable1(seed int64, workers int) ([]Table1Row, error) {
+	parks := []string{"MFNP", "QENP", "SWS"}
+	perPark, err := par.MapErr(workers, len(parks), func(i int) ([]Table1Row, error) {
+		sc, err := NewScenario(parks[i], seed)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, sc.Data.TableIStats(name))
+		rows := []Table1Row{sc.Data.TableIStats(parks[i])}
 		if sc.DryData != nil {
-			rows = append(rows, sc.DryData.TableIStats(name+" dry"))
+			rows = append(rows, sc.DryData.TableIStats(parks[i]+" dry"))
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, r := range perPark {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }
@@ -69,6 +80,12 @@ type Table2Options struct {
 	GPMaxTrain int
 	Balanced   bool
 	Seed       int64
+	// Workers bounds the goroutines used to fan the (test year × model
+	// kind) grid out over a worker pool; each cell's training also uses this
+	// count internally (par.Workers semantics: 1 is sequential, ≤ 0 means
+	// GOMAXPROCS). Every cell derives its seed from its grid position, so
+	// the table is identical for any worker count.
+	Workers int
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -112,7 +129,17 @@ func RunTable2ForScenario(sc *Scenario, name string, opts Table2Options) ([]Tabl
 		// paper's three test years per park.
 		o.TestYears = lastYears(d, 3)
 	}
-	var rows []Table2Row
+	// Stage the (year × kind) grid sequentially — splits are cheap and
+	// shared within a year — then fan the independent train+evaluate cells
+	// out over the worker pool. Each cell's seed depends only on its grid
+	// position, so the rows are identical for any worker count.
+	type cell struct {
+		split dataset.Split
+		year  int
+		kind  ModelKind
+		seed  int64
+	}
+	var cells []cell
 	for yi, year := range o.TestYears {
 		split, err := d.SplitByTestYear(year, o.TrainYears)
 		if err != nil {
@@ -122,22 +149,26 @@ func RunTable2ForScenario(sc *Scenario, name string, opts Table2Options) ([]Tabl
 			return nil, fmt.Errorf("paws: empty split for %s year %d", name, year)
 		}
 		for ki, kind := range o.Kinds {
-			m, err := Train(split.Train, TrainOptions{
-				Kind:       kind,
-				Thresholds: o.Thresholds,
-				Members:    o.Members,
-				CVFolds:    o.CVFolds,
-				GPMaxTrain: o.GPMaxTrain,
-				Balanced:   o.Balanced,
-				Seed:       o.Seed + int64(yi*100+ki),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("paws: %s %d %v: %w", name, year, kind, err)
-			}
-			rows = append(rows, Table2Row{Park: name, TestYear: year, Kind: kind, AUC: m.AUC(split.Test)})
+			cells = append(cells, cell{split: split, year: year, kind: kind, seed: o.Seed + int64(yi*100+ki)})
 		}
 	}
-	return rows, nil
+	return par.MapErr(o.Workers, len(cells), func(i int) (Table2Row, error) {
+		c := cells[i]
+		m, err := Train(c.split.Train, TrainOptions{
+			Kind:       c.kind,
+			Thresholds: o.Thresholds,
+			Members:    o.Members,
+			CVFolds:    o.CVFolds,
+			GPMaxTrain: o.GPMaxTrain,
+			Balanced:   o.Balanced,
+			Seed:       c.seed,
+			Workers:    o.Workers,
+		})
+		if err != nil {
+			return Table2Row{}, fmt.Errorf("paws: %s %d %v: %w", name, c.year, c.kind, err)
+		}
+		return Table2Row{Park: name, TestYear: c.year, Kind: c.kind, AUC: m.AUC(c.split.Test)}, nil
+	})
 }
 
 // Table2Summary aggregates rows into the iWare-E lift headline.
@@ -225,7 +256,7 @@ func RunFig6(sc *Scenario, kind ModelKind, testYear, trainYears int, opts TrainO
 		return nil, err
 	}
 	testFrom, _ := sc.Data.StepsForYear(testYear)
-	pm, err := NewPlannerModel(m, sc.Data, testFrom-1)
+	pm, err := NewPlannerModelWorkers(m, sc.Data, testFrom-1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -273,18 +304,16 @@ func RunFig7(sc *Scenario, testYear, trainYears int, opts TrainOptions) (*Fig7Re
 	if err != nil {
 		return nil, err
 	}
-	gpOpts := opts
-	gpOpts.Kind = GPB
-	gpm, err := Train(split.Train, gpOpts)
+	// The two probe models are independent; train them concurrently.
+	models, err := par.MapErr(opts.Workers, 2, func(i int) (*Model, error) {
+		mo := opts
+		mo.Kind = []ModelKind{GPB, DTB}[i]
+		return Train(split.Train, mo)
+	})
 	if err != nil {
 		return nil, err
 	}
-	dtOpts := opts
-	dtOpts.Kind = DTB
-	dtm, err := Train(split.Train, dtOpts)
-	if err != nil {
-		return nil, err
-	}
+	gpm, dtm := models[0], models[1]
 	res := &Fig7Result{}
 	for _, p := range split.Test {
 		gpp, gpv := gpm.PredictWithVariance(p.Features, p.Effort)
@@ -321,6 +350,10 @@ type PlanStudyOptions struct {
 	// TrainYears / TestYear select the model split.
 	TestYear, TrainYears int
 	Train                TrainOptions
+	// Workers bounds the goroutines used for training, map generation and
+	// the β/segment sweeps (par.Workers semantics; results identical for
+	// any count). Overrides Train.Workers when that is unset.
+	Workers int
 }
 
 func (o PlanStudyOptions) withDefaults() PlanStudyOptions {
@@ -381,12 +414,15 @@ func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
 	if tr.Kind != GPBiW && tr.Kind != DTBiW && tr.Kind != SVBiW {
 		tr.Kind = GPBiW
 	}
+	if tr.Workers == 0 {
+		tr.Workers = o.Workers
+	}
 	m, err := Train(split.Train, tr)
 	if err != nil {
 		return nil, err
 	}
 	testFrom, _ := sc.Data.StepsForYear(o.TestYear)
-	pm, err := NewPlannerModel(m, sc.Data, testFrom-1)
+	pm, err := NewPlannerModelWorkers(m, sc.Data, testFrom-1, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -408,7 +444,7 @@ func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
 		Scenario: sc,
 		Model:    pm,
 		Regions:  regions,
-		Config:   plan.Config{T: o.T, K: o.K, Segments: o.Segments, Solver: o.Solver},
+		Config:   plan.Config{T: o.T, K: o.K, Segments: o.Segments, Solver: o.Solver, Workers: o.Workers},
 		opts:     o,
 	}, nil
 }
@@ -493,6 +529,10 @@ type Table3Options struct {
 	EffortPerCellMonth float64
 	Train              TrainOptions
 	Seed               int64
+	// Workers bounds the goroutines used for training and risk-map
+	// generation (par.Workers semantics; results identical for any count).
+	// Overrides Train.Workers when that is unset.
+	Workers int
 }
 
 // RunTable3ForScenario runs two trials on one scenario (matching the two
@@ -523,12 +563,15 @@ func RunTable3ForScenario(sc *Scenario, name string, blockSize int, trialMonths 
 			tr.Kind = GPBiW
 		}
 	}
+	if tr.Workers == 0 {
+		tr.Workers = opts.Workers
+	}
 	m, err := Train(split.Train, tr)
 	if err != nil {
 		return nil, err
 	}
 	testFrom, _ := d.StepsForYear(testYear)
-	pm, err := NewPlannerModel(m, d, testFrom-1)
+	pm, err := NewPlannerModelWorkers(m, d, testFrom-1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

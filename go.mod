@@ -1,0 +1,3 @@
+module paws
+
+go 1.24

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"paws/internal/par"
 	"paws/internal/plan"
 	"paws/internal/poach"
 	"paws/internal/rng"
@@ -30,34 +31,47 @@ type RatioPoint struct {
 }
 
 // BetaSweep computes plans at each β for every region and evaluates the
-// robust-utility ratio against the β=0 plan. cfg.Beta is overridden.
+// robust-utility ratio against the β=0 plan. cfg.Beta is overridden. Every
+// (β, region) solve is independent, so the whole grid — baselines included —
+// fans out over cfg.Workers goroutines; aggregation runs in (β, region)
+// order afterwards, so the series is identical for any worker count.
 func BetaSweep(regions []*plan.Region, model plan.CellModel, cfg plan.Config, betas []float64) ([]RatioPoint, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("game: no regions")
 	}
 	// Baseline β=0 plan per region.
-	base := make([]*plan.Plan, len(regions))
-	for i, r := range regions {
+	base, err := par.MapErr(cfg.Workers, len(regions), func(i int) (*plan.Plan, error) {
 		c := cfg
 		c.Beta = 0
-		p, err := plan.Solve(r, model, c)
+		p, err := plan.Solve(regions[i], model, c)
 		if err != nil {
 			return nil, fmt.Errorf("game: baseline plan for region %d: %w", i, err)
 		}
-		base[i] = p
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Robust plans for the full β × region grid.
+	plans, err := par.MapErr(cfg.Workers, len(betas)*len(regions), func(j int) (*plan.Plan, error) {
+		beta, i := betas[j/len(regions)], j%len(regions)
+		c := cfg
+		c.Beta = beta
+		p, err := plan.Solve(regions[i], model, c)
+		if err != nil {
+			return nil, fmt.Errorf("game: β=%v plan for region %d: %w", beta, i, err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []RatioPoint
-	for _, beta := range betas {
+	for bi, beta := range betas {
 		pt := RatioPoint{Beta: beta, Segments: cfg.Segments, Avg: 0, Max: 0}
 		var sum float64
 		for i, r := range regions {
-			c := cfg
-			c.Beta = beta
-			p, err := plan.Solve(r, model, c)
-			if err != nil {
-				return nil, fmt.Errorf("game: β=%v plan for region %d: %w", beta, i, err)
-			}
-			uRobust := plan.Evaluate(r, model, p.Effort, beta)
+			uRobust := plan.Evaluate(r, model, plans[bi*len(regions)+i].Effort, beta)
 			uBase := plan.Evaluate(r, model, base[i].Effort, beta)
 			ratio := 1.0
 			if uBase > 1e-12 {

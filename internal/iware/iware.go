@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"paws/internal/ml"
+	"paws/internal/par"
 	"paws/internal/rng"
 	"paws/internal/stats"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	WeightIters int
 	// Seed drives fold assignment and weak-learner seeds.
 	Seed int64
+	// Workers bounds the goroutines used to fit ladder slices and CV folds
+	// and to fan batch predictions out across classifiers (par.Workers
+	// semantics: 1 is sequential, ≤ 0 means GOMAXPROCS). Seeds are derived
+	// before fan-out, so results are identical for any worker count.
+	Workers int
 }
 
 // Model is a fitted iWare-E ensemble.
@@ -96,16 +102,25 @@ func Fit(X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) 
 		m.weights = uniformWeights(len(thresholds))
 	}
 
-	// Final refit of every weak learner on the full (filtered) training data.
-	r := rng.New(cfg.Seed)
-	for i, th := range thresholds {
+	// Final refit of every weak learner on the full (filtered) training
+	// data. Ladder slices are independent, so they fit concurrently; seeds
+	// are drained from the stream in ladder order first, which keeps the
+	// result identical to a sequential run.
+	seeds := par.SeedsFrom(rng.New(cfg.Seed), len(thresholds))
+	m.classifiers = make([]ml.Classifier, len(thresholds))
+	err := par.ForEachErr(cfg.Workers, len(thresholds), func(i int) error {
+		th := thresholds[i]
 		idx := filterIndices(y, efforts, th)
 		fx, fy := ml.Subset(X, y, idx)
-		c := cfg.WeakLearner(r.Int63())
+		c := cfg.WeakLearner(seeds[i])
 		if err := fitPossiblyDegenerate(c, fx, fy); err != nil {
-			return nil, fmt.Errorf("iware: classifier %d (θ=%.3f): %w", i, th, err)
+			return fmt.Errorf("iware: classifier %d (θ=%.3f): %w", i, th, err)
 		}
-		m.classifiers = append(m.classifiers, c)
+		m.classifiers[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -204,12 +219,128 @@ func (m *Model) PredictWithVarianceForEffort(x []float64, c float64) (p, varianc
 	return num / den, vnum / den
 }
 
-// PredictPoints scores test points at their recorded efforts — the Table II
-// evaluation mode.
-func (m *Model) PredictPoints(X [][]float64, efforts []float64) []float64 {
+// combineQualified reduces per-classifier predictions for one point exactly
+// as PredictForEffort does: weight-normalized average over the first nq
+// classifiers, falling back to a uniform average when all qualified weights
+// are zero. preds[i] must hold classifier i's PredictProba for the point.
+func (m *Model) combineQualified(preds []float64, nq int) float64 {
+	var num, den float64
+	for i := 0; i < nq; i++ {
+		w := m.weights[i]
+		if w <= 0 {
+			continue
+		}
+		num += w * preds[i]
+		den += w
+	}
+	if den == 0 {
+		num = 0
+		for i := 0; i < nq; i++ {
+			num += preds[i]
+		}
+		return num / float64(nq)
+	}
+	return num / den
+}
+
+// PredictForEffortBatch scores every row of X at one planned effort. The
+// qualified classifiers each score the whole batch concurrently
+// (Config.Workers) through their batch fast path; per-point combination then
+// runs in classifier order, matching PredictForEffort bit for bit.
+func (m *Model) PredictForEffortBatch(X [][]float64, c float64) []float64 {
+	nq := m.qualifiedUpTo(c)
+	preds := par.Map(m.cfg.Workers, nq, func(i int) []float64 {
+		return ml.PredictAll(m.classifiers[i], X)
+	})
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.PredictForEffort(x, efforts[i])
+	perPoint := make([]float64, nq)
+	for v := range X {
+		for i := 0; i < nq; i++ {
+			perPoint[i] = preds[i][v]
+		}
+		out[v] = m.combineQualified(perPoint, nq)
+	}
+	return out
+}
+
+// PredictWithVarianceForEffortBatch scores every row of X with uncertainty
+// at one planned effort, batching across qualified classifiers like
+// PredictForEffortBatch.
+func (m *Model) PredictWithVarianceForEffortBatch(X [][]float64, c float64) (p, variance []float64) {
+	nq := m.qualifiedUpTo(c)
+	type clfOut struct{ p, v []float64 }
+	outs := par.Map(m.cfg.Workers, nq, func(i int) clfOut {
+		if uc, ok := m.classifiers[i].(ml.UncertaintyClassifier); ok {
+			pi, vi := ml.PredictWithVarianceAll(uc, X, 1)
+			return clfOut{p: pi, v: vi}
+		}
+		return clfOut{p: ml.PredictAll(m.classifiers[i], X)}
+	})
+	p = make([]float64, len(X))
+	variance = make([]float64, len(X))
+	for row := range X {
+		var num, den, vnum float64
+		for i := 0; i < nq; i++ {
+			w := m.weights[i]
+			if w <= 0 {
+				continue
+			}
+			num += w * outs[i].p[row]
+			if outs[i].v != nil {
+				vnum += w * outs[i].v[row]
+			}
+			den += w
+		}
+		if den == 0 {
+			// Rare all-zero-weight case: defer to the pointwise fallback,
+			// which averages PredictProba (not the uncertainty-path mean)
+			// uniformly over the qualified classifiers.
+			p[row], variance[row] = m.PredictForEffort(X[row], c), 0
+			continue
+		}
+		p[row], variance[row] = num/den, vnum/den
+	}
+	return p, variance
+}
+
+// PredictPoints scores test points at their recorded efforts — the Table II
+// evaluation mode. Points are scored in vectorized form: classifier i batch-
+// predicts exactly the points whose recorded effort qualifies it, with
+// classifiers running concurrently (Config.Workers); the per-point weighted
+// combination is unchanged, so results match the pointwise path bit for bit.
+func (m *Model) PredictPoints(X [][]float64, efforts []float64) []float64 {
+	nq := make([]int, len(X))
+	maxQ := 0
+	for v := range X {
+		nq[v] = m.qualifiedUpTo(efforts[v])
+		if nq[v] > maxQ {
+			maxQ = nq[v]
+		}
+	}
+	// preds[i][v] is classifier i's probability for point v, filled only
+	// where i < nq[v] (qualification is a prefix of the ladder).
+	preds := par.Map(m.cfg.Workers, maxQ, func(i int) []float64 {
+		var rows [][]float64
+		var idx []int
+		for v := range X {
+			if i < nq[v] {
+				rows = append(rows, X[v])
+				idx = append(idx, v)
+			}
+		}
+		dense := make([]float64, len(X))
+		for k, p := range ml.PredictAll(m.classifiers[i], rows) {
+			dense[idx[k]] = p
+		}
+		return dense
+	})
+	out := make([]float64, len(X))
+	perPoint := make([]float64, maxQ)
+	for v := range X {
+		for i := 0; i < nq[v]; i++ {
+			perPoint[i] = preds[i][v]
+		}
+		out[v] = m.combineQualified(perPoint, nq[v])
 	}
 	return out
 }
@@ -237,6 +368,18 @@ func optimizeWeights(X [][]float64, y []int, efforts []float64, thresholds []flo
 	for v := range preds {
 		preds[v] = make([]float64, I)
 	}
+	// Stage every (fold, threshold) fit sequentially — including the seed
+	// draws, which historically happen only for non-empty filtered slices —
+	// then run the fits concurrently. Each task owns disjoint (v, i) slots
+	// of preds, so the fan-out is race-free and order-independent.
+	type cvTask struct {
+		fx     [][]float64
+		fy     []int
+		valIdx []int
+		seed   int64
+		i      int // classifier (threshold) index
+	}
+	var tasks []cvTask
 	seedRNG := r.Split("cv-seeds")
 	for _, valIdx := range folds {
 		trIdx := ml.TrainIndices(n, valIdx)
@@ -254,14 +397,26 @@ func optimizeWeights(X [][]float64, y []int, efforts []float64, thresholds []flo
 				continue
 			}
 			fx, fy := ml.Subset(trX, trY, fIdx)
-			c := cfg.WeakLearner(seedRNG.Int63())
-			if err := c.Fit(fx, fy); err != nil {
-				return nil, fmt.Errorf("iware: CV classifier %d: %w", i, err)
-			}
-			for _, v := range valIdx {
-				preds[v][i] = c.PredictProba(X[v])
-			}
+			tasks = append(tasks, cvTask{fx: fx, fy: fy, valIdx: valIdx, seed: seedRNG.Int63(), i: i})
 		}
+	}
+	err := par.ForEachErr(cfg.Workers, len(tasks), func(t int) error {
+		task := tasks[t]
+		c := cfg.WeakLearner(task.seed)
+		if err := c.Fit(task.fx, task.fy); err != nil {
+			return fmt.Errorf("iware: CV classifier %d: %w", task.i, err)
+		}
+		valX := make([][]float64, len(task.valIdx))
+		for k, v := range task.valIdx {
+			valX[k] = X[v]
+		}
+		for k, p := range ml.PredictAll(c, valX) {
+			preds[task.valIdx[k]][task.i] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Qualification mask by each point's recorded effort.

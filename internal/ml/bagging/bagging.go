@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"paws/internal/ml"
+	"paws/internal/par"
 	"paws/internal/rng"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	Balanced bool
 	// Seed drives all resampling.
 	Seed int64
+	// Workers bounds the goroutines used to fit members and to fan batch
+	// predictions out across members (par.Workers semantics: 1 is
+	// sequential, ≤ 0 means GOMAXPROCS). Bags and member seeds are derived
+	// before fan-out, so results are identical for any worker count.
+	Workers int
 }
 
 // Ensemble is a fitted bagging classifier.
@@ -80,20 +86,38 @@ func (e *Ensemble) Fit(X [][]float64, y []int) error {
 		// Balanced bags are ~1:1, so the odds inflation is 1/(true odds).
 		e.oddsInflation = float64(len(negIdx)) / float64(len(posIdx))
 	}
-	for b := 0; b < e.cfg.Members; b++ {
-		idx := e.sampleBag(posIdx, negIdx, len(X), r)
+	// Draw every bag and member seed sequentially before fan-out: the parent
+	// stream is consumed in exactly the historical order (bag b, then seed
+	// b), so member b trains on the same data with the same seed no matter
+	// how many workers run.
+	bags := make([][]int, e.cfg.Members)
+	seeds := make([]int64, e.cfg.Members)
+	for b := range bags {
+		bags[b] = e.sampleBag(posIdx, negIdx, len(X), r)
+		seeds[b] = r.Int63()
+	}
+	members := make([]ml.Classifier, e.cfg.Members)
+	inBag := make([][]int, e.cfg.Members)
+	err := par.ForEachErr(e.cfg.Workers, e.cfg.Members, func(b int) error {
+		idx := bags[b]
 		counts := make([]int, len(X))
 		for _, i := range idx {
 			counts[i]++
 		}
 		bx, by := ml.Subset(X, y, idx)
-		m := e.base(r.Int63())
+		m := e.base(seeds[b])
 		if err := fitWithFallback(m, bx, by); err != nil {
 			return fmt.Errorf("bagging: member %d: %w", b, err)
 		}
-		e.members = append(e.members, m)
-		e.inBag = append(e.inBag, counts)
+		members[b] = m
+		inBag[b] = counts
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	e.members = members
+	e.inBag = inBag
 	return nil
 }
 
@@ -173,6 +197,28 @@ func (e *Ensemble) PredictProba(x []float64) float64 {
 	return s / float64(len(e.members))
 }
 
+// PredictProbaBatch returns the mean calibrated member probability for every
+// row of X. Members are scored concurrently (Config.Workers), each over the
+// whole batch via its own batch fast path; the aggregation always sums in
+// member order, so the output matches pointwise PredictProba exactly.
+func (e *Ensemble) PredictProbaBatch(X [][]float64) []float64 {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	memberPreds := par.Map(e.cfg.Workers, len(e.members), func(b int) []float64 {
+		return ml.PredictAll(e.members[b], X)
+	})
+	out := make([]float64, len(X))
+	for v := range out {
+		var s float64
+		for _, preds := range memberPreds {
+			s += e.calibrate(preds[v])
+		}
+		out[v] = s / float64(len(e.members))
+	}
+	return out
+}
+
 // MemberPredictions returns every member's calibrated probability for x.
 func (e *Ensemble) MemberPredictions(x []float64) []float64 {
 	out := make([]float64, len(e.members))
@@ -216,6 +262,57 @@ func (e *Ensemble) PredictWithVariance(x []float64) (p, variance float64) {
 		return mean, intrinsic/n + between
 	}
 	return mean, between
+}
+
+// PredictWithVarianceBatch returns PredictWithVariance for every row of X.
+// Members predict concurrently over the whole batch; the per-point Welford
+// recursion then runs in member order, reproducing the pointwise floats bit
+// for bit.
+func (e *Ensemble) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64) {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	type memberOut struct {
+		p, v      []float64
+		intrinsic bool // counts toward the hasIntrinsic flag
+	}
+	outs := par.Map(e.cfg.Workers, len(e.members), func(b int) memberOut {
+		m := e.members[b]
+		if um, ok := m.(ml.UncertaintyClassifier); ok {
+			p, v := ml.PredictWithVarianceAll(um, X, 1)
+			_, isConst := m.(*ml.ConstantClassifier)
+			return memberOut{p: p, v: v, intrinsic: !isConst}
+		}
+		return memberOut{p: ml.PredictAll(m, X)}
+	})
+	n := float64(len(e.members))
+	ps := make([]float64, len(X))
+	vs := make([]float64, len(X))
+	for row := range X {
+		var mean, m2, intrinsic float64
+		hasIntrinsic := false
+		for i, mo := range outs {
+			pi := mo.p[row]
+			if mo.v != nil {
+				if mo.intrinsic {
+					hasIntrinsic = true
+				}
+				intrinsic += mo.v[row]
+			}
+			pi = e.calibrate(pi)
+			delta := pi - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (pi - mean)
+		}
+		between := m2 / n
+		ps[row] = mean
+		if hasIntrinsic {
+			vs[row] = intrinsic/n + between
+		} else {
+			vs[row] = between
+		}
+	}
+	return ps, vs
 }
 
 // JackknifeVariance returns the infinitesimal-jackknife variance estimate of

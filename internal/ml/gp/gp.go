@@ -249,6 +249,58 @@ func (g *GP) PredictWithVariance(x []float64) (float64, float64) {
 	return correctOdds(p, g.oddsInflation), variance
 }
 
+// PredictProbaBatch returns the class probability for every row of X.
+func (g *GP) PredictProbaBatch(X [][]float64) []float64 {
+	p, _ := g.PredictWithVarianceBatch(X)
+	return p
+}
+
+// PredictWithVarianceBatch scores a whole matrix at once. The kernel vectors
+// of all query points are assembled first, then a single batched forward
+// substitution (mat.Cholesky.SolveLowerBatch) resolves every predictive
+// variance in one pass over L — instead of re-walking the factor per point
+// as the pointwise path does. The arithmetic per point is identical, so the
+// returned floats match PredictWithVariance bit for bit.
+func (g *GP) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64) {
+	if !g.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	m := len(X)
+	n := len(g.X)
+	means := make([]float64, m)
+	rhs := make([][]float64, m)
+	z := make([]float64, 0)
+	if m > 0 {
+		z = make([]float64, len(X[0]))
+	}
+	for r, x := range X {
+		g.std.TransformInto(x, z)
+		ks := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ks[i] = g.kernel(z, g.X[i])
+		}
+		means[r] = mat.Dot(ks, g.grad)
+		// Scale in place: ks is only needed as the W^{1/2}-weighted RHS now.
+		for i := 0; i < n; i++ {
+			ks[i] *= g.wSqrt[i]
+		}
+		rhs[r] = ks
+	}
+	V := g.chB.SolveLowerBatch(rhs)
+	ps := make([]float64, m)
+	vs := make([]float64, m)
+	for r := 0; r < m; r++ {
+		variance := g.cfg.SignalVar + g.cfg.Jitter - mat.Dot(V[r], V[r])
+		if variance < 0 {
+			variance = 0
+		}
+		p := stats.Logistic(means[r] / math.Sqrt(1+math.Pi*variance/8))
+		ps[r] = correctOdds(p, g.oddsInflation)
+		vs[r] = variance
+	}
+	return ps, vs
+}
+
 // oddsInflation measures how the subsample shifted class odds versus the
 // full set: (π_sub/(1−π_sub)) / (π_full/(1−π_full)). 1 when either set is
 // single-class (no meaningful correction).

@@ -83,7 +83,7 @@ func (l *LogReg) Fit(X [][]float64, y []int) error {
 		h := mat.NewDense(k+1, k+1)
 		for i := 0; i < n; i++ {
 			zi := Z[i]
-			p := stats.Logistic(dot(l.w, zi) + l.b)
+			p := stats.Logistic(mat.Dot(l.w, zi) + l.b)
 			cw := l.cfg.NegWeight
 			if y[i] == 1 {
 				cw = l.cfg.PosWeight
@@ -138,7 +138,7 @@ func (l *LogReg) PredictProba(x []float64) float64 {
 	if !l.fitted {
 		panic(ml.ErrNotFitted)
 	}
-	p := stats.Logistic(dot(l.w, l.std.Transform(x)) + l.b)
+	p := stats.Logistic(mat.Dot(l.w, l.std.Transform(x)) + l.b)
 	if l.labelingRate < 1 {
 		p = math.Min(1, p/l.labelingRate)
 	}
@@ -177,12 +177,4 @@ func (l *LogReg) EstimateLabelingRate(positives [][]float64) float64 {
 		return 1
 	}
 	return c
-}
-
-func dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"paws/internal/par"
 	"paws/internal/rng"
 )
 
@@ -33,18 +34,66 @@ type UncertaintyClassifier interface {
 	PredictWithVariance(x []float64) (p, variance float64)
 }
 
+// BatchClassifier is a Classifier with a vectorized prediction path: scoring
+// a whole matrix at once lets implementations amortize per-call setup (the
+// GP's batched back-substitution, the ensemble's per-member dispatch) that a
+// one-point-at-a-time loop repays on every row. Implementations must return
+// exactly the floats the pointwise path would.
+type BatchClassifier interface {
+	Classifier
+	// PredictProbaBatch returns PredictProba for every row of X.
+	PredictProbaBatch(X [][]float64) []float64
+}
+
+// BatchUncertaintyClassifier is the batched form of UncertaintyClassifier.
+type BatchUncertaintyClassifier interface {
+	UncertaintyClassifier
+	// PredictWithVarianceBatch returns PredictWithVariance for every row of
+	// X as parallel probability and variance slices.
+	PredictWithVarianceBatch(X [][]float64) (p, variance []float64)
+}
+
 // Factory builds a fresh, untrained classifier. Ensembles and
 // cross-validation use factories so every member starts from scratch with an
 // independent seed.
 type Factory func(seed int64) Classifier
 
-// PredictAll applies PredictProba to every row of X.
+// PredictAll applies PredictProba to every row of X, preferring the batch
+// fast path when c implements BatchClassifier.
 func PredictAll(c Classifier, X [][]float64) []float64 {
+	return PredictAllParallel(c, X, 1)
+}
+
+// PredictAllParallel scores every row of X on up to workers goroutines (see
+// par.Workers for the count semantics). Batch implementations are dispatched
+// in index-ordered chunks, so the output is identical for any worker count.
+func PredictAllParallel(c Classifier, X [][]float64, workers int) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = c.PredictProba(x)
+	if bc, ok := c.(BatchClassifier); ok {
+		par.ForEachChunk(workers, len(X), func(lo, hi int) {
+			copy(out[lo:hi], bc.PredictProbaBatch(X[lo:hi]))
+		})
+		return out
 	}
+	par.ForEach(workers, len(X), func(i int) { out[i] = c.PredictProba(X[i]) })
 	return out
+}
+
+// PredictWithVarianceAll scores every row of X with uncertainty on up to
+// workers goroutines, preferring the batch fast path.
+func PredictWithVarianceAll(c UncertaintyClassifier, X [][]float64, workers int) (p, variance []float64) {
+	p = make([]float64, len(X))
+	variance = make([]float64, len(X))
+	if bc, ok := c.(BatchUncertaintyClassifier); ok {
+		par.ForEachChunk(workers, len(X), func(lo, hi int) {
+			ps, vs := bc.PredictWithVarianceBatch(X[lo:hi])
+			copy(p[lo:hi], ps)
+			copy(variance[lo:hi], vs)
+		})
+		return p, variance
+	}
+	par.ForEach(workers, len(X), func(i int) { p[i], variance[i] = c.PredictWithVariance(X[i]) })
+	return p, variance
 }
 
 // CheckXY validates a training set shape.
@@ -110,10 +159,16 @@ func FitStandardizer(X [][]float64) (*Standardizer, error) {
 // Transform returns the standardized copy of x.
 func (s *Standardizer) Transform(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Scale[j]
-	}
+	s.TransformInto(x, out)
 	return out
+}
+
+// TransformInto standardizes x into dst, which must have the same length —
+// the allocation-free variant batch predictors use for their scratch buffer.
+func (s *Standardizer) TransformInto(x, dst []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
 }
 
 // TransformAll standardizes every row of X into a new matrix.
@@ -201,3 +256,17 @@ func (c *ConstantClassifier) PredictProba(x []float64) float64 { return c.P }
 
 // PredictWithVariance returns the constant with zero variance.
 func (c *ConstantClassifier) PredictWithVariance(x []float64) (float64, float64) { return c.P, 0 }
+
+// PredictProbaBatch returns the stored constant for every row.
+func (c *ConstantClassifier) PredictProbaBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = c.P
+	}
+	return out
+}
+
+// PredictWithVarianceBatch returns the constant with zero variance per row.
+func (c *ConstantClassifier) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64) {
+	return c.PredictProbaBatch(X), make([]float64, len(X))
+}

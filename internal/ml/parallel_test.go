@@ -1,0 +1,68 @@
+package ml
+
+import "testing"
+
+// pointwiseOnly deliberately implements just the scalar interfaces so the
+// non-batch branches of the parallel helpers get exercised.
+type pointwiseOnly struct{}
+
+func (pointwiseOnly) Fit(X [][]float64, y []int) error { return nil }
+func (pointwiseOnly) PredictProba(x []float64) float64 { return x[0] / (1 + x[0]*x[0]) }
+func (pointwiseOnly) PredictWithVariance(x []float64) (float64, float64) {
+	return x[0] / (1 + x[0]*x[0]), x[0] * x[0]
+}
+
+func testMatrix(n int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i) * 0.37}
+	}
+	return X
+}
+
+// TestPredictAllParallelMatchesSequential covers both dispatch branches —
+// batch (ConstantClassifier) and pointwise (pointwiseOnly) — across worker
+// counts, including the chunked multi-worker paths.
+func TestPredictAllParallelMatchesSequential(t *testing.T) {
+	X := testMatrix(103)
+	classifiers := map[string]Classifier{
+		"batch":     &ConstantClassifier{P: 0.25},
+		"pointwise": pointwiseOnly{},
+	}
+	for name, c := range classifiers {
+		t.Run(name, func(t *testing.T) {
+			want := PredictAll(c, X)
+			for _, workers := range []int{1, 3, 8, 0} {
+				got := PredictAllParallel(c, X, workers)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictWithVarianceAllMatchesSequential does the same for the
+// uncertainty-path helper.
+func TestPredictWithVarianceAllMatchesSequential(t *testing.T) {
+	X := testMatrix(97)
+	classifiers := map[string]UncertaintyClassifier{
+		"batch":     &ConstantClassifier{P: 0.7},
+		"pointwise": pointwiseOnly{},
+	}
+	for name, c := range classifiers {
+		t.Run(name, func(t *testing.T) {
+			wantP, wantV := PredictWithVarianceAll(c, X, 1)
+			for _, workers := range []int{3, 8, 0} {
+				gotP, gotV := PredictWithVarianceAll(c, X, workers)
+				for i := range wantP {
+					if gotP[i] != wantP[i] || gotV[i] != wantV[i] {
+						t.Fatalf("workers=%d: point %d diverged", workers, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ package svm
 import (
 	"math"
 
+	"paws/internal/mat"
 	"paws/internal/ml"
 	"paws/internal/rng"
 	"paws/internal/stats"
@@ -83,7 +84,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 			if y[i] == 1 {
 				cw = wPos
 			}
-			margin := yi * (dot(s.w, Z[i]) + s.b)
+			margin := yi * (mat.Dot(s.w, Z[i]) + s.b)
 			// Regularization shrink.
 			scale := 1 - eta*lam
 			if scale < 0 {
@@ -107,7 +108,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 }
 
 // decision returns the raw margin for standardized input z.
-func (s *SVM) decision(z []float64) float64 { return dot(s.w, z) + s.b }
+func (s *SVM) decision(z []float64) float64 { return mat.Dot(s.w, z) + s.b }
 
 // fitPlatt fits P(y=1|m) = σ(A·m + B) by Newton iterations on the
 // regularized log loss (Platt 1999, with the Lin-Weng target smoothing).
@@ -167,6 +168,24 @@ func (s *SVM) PredictProba(x []float64) float64 {
 	return stats.Logistic(s.plattA*s.decision(z) + s.plattB)
 }
 
+// PredictProbaBatch scores every row of X, reusing one standardization
+// buffer across the batch instead of allocating per point.
+func (s *SVM) PredictProbaBatch(X [][]float64) []float64 {
+	if !s.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	out := make([]float64, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	z := make([]float64, len(X[0]))
+	for i, x := range X {
+		s.std.TransformInto(x, z)
+		out[i] = stats.Logistic(s.plattA*s.decision(z) + s.plattB)
+	}
+	return out
+}
+
 // Decision returns the raw (uncalibrated) margin for x.
 func (s *SVM) Decision(x []float64) float64 {
 	if !s.fitted {
@@ -177,11 +196,3 @@ func (s *SVM) Decision(x []float64) float64 {
 
 // Weights returns the learned weight vector (standardized space).
 func (s *SVM) Weights() []float64 { return s.w }
-
-func dot(a, b []float64) float64 {
-	var sum float64
-	for i, v := range a {
-		sum += v * b[i]
-	}
-	return sum
-}

@@ -200,6 +200,15 @@ func (t *Tree) PredictProba(x []float64) float64 {
 	return nd.prob
 }
 
+// PredictProbaBatch scores every row of X with one tree walk per row.
+func (t *Tree) PredictProbaBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = t.PredictProba(x)
+	}
+	return out
+}
+
 // Depth returns the maximum depth of the fitted tree (0 for a stump).
 func (t *Tree) Depth() int { return depth(t.root) }
 

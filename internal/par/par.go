@@ -1,0 +1,152 @@
+// Package par is the deterministic parallel-execution substrate of the PAWS
+// pipeline. It provides a bounded worker pool over index spaces with
+// index-ordered results, so every caller gets byte-identical output no matter
+// how many workers run, plus seed pre-derivation helpers that let random
+// work fan out without perturbing the sequential draw order.
+//
+// The determinism contract has two halves:
+//
+//  1. Results are written to slots owned by their task index, never appended
+//     in completion order, so output layout is independent of scheduling.
+//  2. Any randomness a task needs is derived BEFORE fan-out by draining seeds
+//     from the parent stream in index order (Seeds / SeedsFrom). Task i
+//     therefore sees the same seed whether it runs first, last, or alone.
+//
+// Under this contract, Workers(1) and Workers(N) runs of the same
+// computation produce identical floats, which the determinism tests in the
+// root package assert for every model kind.
+//
+// Worker-count semantics, shared by every Workers/Config.Workers field in
+// the repo: a value ≥ 1 is used as-is (1 means inline sequential execution,
+// no goroutines); 0 or negative means one worker per available CPU
+// (runtime.GOMAXPROCS(0)), so `GOMAXPROCS=4 go test` or `-cpu 4` scale the
+// whole pipeline without touching any option struct.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"paws/internal/rng"
+)
+
+// Workers resolves a requested worker count: n ≥ 1 is used as-is; 0 or
+// negative selects one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (resolved by Workers). With one worker it runs inline on the calling
+// goroutine. fn must confine its writes to data owned by index i; under that
+// discipline the result is identical for any worker count.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible tasks. Every task runs regardless of
+// other tasks' failures; the returned error is the one from the lowest
+// failing index, so error reporting is deterministic under any interleaving.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map collects fn(i) for i in [0, n) into a slice in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible tasks, with ForEachErr's lowest-index error
+// semantics. On error the partial results are discarded.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachErr(workers, n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachChunk splits [0, n) into at most Workers(workers) contiguous chunks
+// of near-equal size and runs fn(lo, hi) for each — the right shape for
+// batch APIs that amortize per-call setup over many indices.
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	ForEach(workers, workers, func(c int) {
+		lo := c * n / workers
+		hi := (c + 1) * n / workers
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
+
+// Seeds pre-derives n per-task seeds from a root seed by draining a fresh
+// stream sequentially. Drawing all seeds before fan-out is what keeps
+// parallel execution byte-identical to sequential: task i receives the same
+// seed regardless of worker count or completion order.
+func Seeds(root int64, n int) []int64 {
+	return SeedsFrom(rng.New(root), n)
+}
+
+// SeedsFrom drains n seeds from an existing stream in index order. Use this
+// when the parent stream interleaves seed draws with other sampling and the
+// historical draw order must be preserved exactly.
+func SeedsFrom(r *rng.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}

@@ -124,6 +124,12 @@ type Config struct {
 	FWIters int
 	// MILP tunes the branch-and-bound search.
 	MILP milp.Options
+	// Workers bounds the goroutines sweep drivers (package game) use to run
+	// independent solves concurrently (par.Workers semantics: 1 is
+	// sequential, ≤ 0 means GOMAXPROCS). Solve itself is sequential; the
+	// CellModel must be safe for concurrent lookups when Workers ≠ 1, which
+	// the paws.PlannerModel adapter guarantees.
+	Workers int
 }
 
 // SolverKind selects how the planning problem is optimized.

@@ -15,7 +15,12 @@
 //     patrol planner (plan, game).
 //   - Field tests (field) driven by a trained model's risk map.
 //
-// Every entry point takes an explicit seed and is deterministic.
+// Every entry point takes an explicit seed and is deterministic — including
+// under parallel execution: the Workers fields on TrainOptions,
+// Table2Options, PlanStudyOptions and PlannerModel bound a worker pool
+// (internal/par) whose output is byte-identical for any worker count.
+// Workers = 1 forces sequential execution; 0 or negative sizes the pool to
+// runtime.GOMAXPROCS(0), so -cpu / GOMAXPROCS scale the whole pipeline.
 package paws
 
 import (
@@ -142,6 +147,12 @@ type TrainOptions struct {
 	// TreeDepth caps decision-tree depth (default 10).
 	TreeDepth int
 	Seed      int64
+	// Workers bounds the goroutines used to train ensemble members /
+	// iWare-E ladder slices concurrently and to fan batch predictions out
+	// (par.Workers semantics: 1 forces sequential execution, 0 or negative
+	// uses one worker per CPU, i.e. GOMAXPROCS). Training and prediction
+	// results are byte-identical for every worker count.
+	Workers int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -196,6 +207,7 @@ func weakLearnerFactory(kind ModelKind, o TrainOptions, numFeatures int) ml.Fact
 			Members:  o.Members,
 			Balanced: o.Balanced,
 			Seed:     seed,
+			Workers:  o.Workers,
 		})
 	}
 }
@@ -230,6 +242,7 @@ func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
 		WeakLearner: factory,
 		CVFolds:     o.CVFolds,
 		Seed:        o.Seed,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
@@ -262,6 +275,7 @@ func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts Train
 		WeakLearner: weakLearnerFactory(o.Kind, o, len(X[0])),
 		CVFolds:     o.CVFolds,
 		Seed:        o.Seed,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
@@ -286,13 +300,41 @@ func (m *Model) PredictWithVariance(features []float64, effort float64) (p, vari
 	return m.plain.PredictWithVariance(features)
 }
 
-// PredictPoints scores test points at their recorded efforts.
-func (m *Model) PredictPoints(pts []dataset.Point) []float64 {
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		out[i] = m.PredictForEffort(p.Features, p.Effort)
+// PredictForEffortBatch scores many feature vectors at one planned effort
+// through the model's batch fast path.
+func (m *Model) PredictForEffortBatch(X [][]float64, effort float64) []float64 {
+	if m.iw != nil {
+		return m.iw.PredictForEffortBatch(X, effort)
 	}
-	return out
+	return m.plain.PredictProbaBatch(X)
+}
+
+// PredictWithVarianceBatch scores many feature vectors with uncertainty at
+// one planned effort through the model's batch fast path.
+func (m *Model) PredictWithVarianceBatch(X [][]float64, effort float64) (p, variance []float64) {
+	if m.iw != nil {
+		return m.iw.PredictWithVarianceForEffortBatch(X, effort)
+	}
+	return m.plain.PredictWithVarianceBatch(X)
+}
+
+// PredictPoints scores test points at their recorded efforts via the
+// vectorized prediction paths.
+func (m *Model) PredictPoints(pts []dataset.Point) []float64 {
+	if m.iw != nil {
+		X := make([][]float64, len(pts))
+		eff := make([]float64, len(pts))
+		for i, p := range pts {
+			X[i] = p.Features
+			eff[i] = p.Effort
+		}
+		return m.iw.PredictPoints(X, eff)
+	}
+	X := make([][]float64, len(pts))
+	for i, p := range pts {
+		X[i] = p.Features
+	}
+	return m.plain.PredictProbaBatch(X)
 }
 
 // AUC evaluates the model on test points.

@@ -3,9 +3,11 @@ package paws
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"paws/internal/dataset"
 	"paws/internal/iware"
+	"paws/internal/par"
 	"paws/internal/stats"
 )
 
@@ -14,7 +16,10 @@ import (
 // functions of planned patrol effort. Feature vectors are frozen at plan
 // time (static features plus the previous step's patrol coverage), and
 // predictions are memoized because the planner queries the same breakpoints
-// for every β in a sweep.
+// for every β in a sweep. All methods are safe for concurrent use: the memo
+// is a preallocated per-cell slice guarded by per-cell locks, and the map
+// generators evaluate cells in parallel chunks through the batch prediction
+// API (Workers controls the fan-out).
 type PlannerModel struct {
 	model *Model
 	// features[cell] is the frozen feature vector per park cell.
@@ -27,18 +32,64 @@ type PlannerModel struct {
 	// logistic squashing function before weighting them in the objective.
 	squashScale float64
 
-	cache map[cacheKey][2]float64
+	// Workers bounds the goroutines the map generators (RiskMap,
+	// UncertaintyMap, RawVarianceMap) use to evaluate cells (par.Workers
+	// semantics: 1 is sequential, 0 or negative means GOMAXPROCS). Output is
+	// identical for any worker count.
+	Workers int
+
+	// memo[cell] holds the (effort → prediction) entries already computed
+	// for the cell. The planner only ever queries a handful of effort
+	// breakpoints per cell, so a linear scan over a small slice beats the
+	// old global map — and per-cell locking keeps concurrent planner sweeps
+	// race-free without a global bottleneck.
+	memo []cellMemo
 }
 
-type cacheKey struct {
-	cell   int
-	effort float64
+type cellMemo struct {
+	mu      sync.Mutex
+	efforts []float64
+	vals    [][2]float64 // (detection probability, squashed uncertainty)
+}
+
+// get returns the memoized value for an effort, if present.
+func (c *cellMemo) get(effort float64) ([2]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.efforts {
+		if e == effort {
+			return c.vals[i], true
+		}
+	}
+	return [2]float64{}, false
+}
+
+// put stores a value, keeping the first entry on a duplicate insert (values
+// for the same effort are identical by determinism, so either would do).
+func (c *cellMemo) put(effort float64, v [2]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.efforts {
+		if e == effort {
+			return
+		}
+	}
+	c.efforts = append(c.efforts, effort)
+	c.vals = append(c.vals, v)
 }
 
 // NewPlannerModel freezes features from the dataset as of step prevStep
 // (whose effort becomes the coverage covariate) and calibrates the variance
-// squashing scale on a sample of cells.
+// squashing scale on a sample of cells. The worker pool is sized to
+// GOMAXPROCS; use NewPlannerModelWorkers to pin a count.
 func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel, error) {
+	return NewPlannerModelWorkers(m, d, prevStep, 0)
+}
+
+// NewPlannerModelWorkers is NewPlannerModel with an explicit worker count
+// for the calibration pass and subsequent map generation (par.Workers
+// semantics: 1 is sequential, ≤ 0 means GOMAXPROCS).
+func NewPlannerModelWorkers(m *Model, d *dataset.Dataset, prevStep, workers int) (*PlannerModel, error) {
 	if m == nil || d == nil {
 		return nil, errors.New("paws: nil model or dataset")
 	}
@@ -47,7 +98,7 @@ func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel,
 	}
 	n := d.Park.Grid.NumCells()
 	nf := d.Park.NumFeatures()
-	pm := &PlannerModel{model: m, cache: map[cacheKey][2]float64{}}
+	pm := &PlannerModel{model: m, Workers: workers, memo: make([]cellMemo, n)}
 	pm.features = make([][]float64, n)
 	for cell := 0; cell < n; cell++ {
 		f := make([]float64, nf+1)
@@ -58,12 +109,17 @@ func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel,
 	// Calibrate the squashing on the park-wide variance distribution at a
 	// moderate effort level: the 10th percentile maps to ~0 and the 90th to
 	// ~0.96, so uncertainty scores use the full [0,1] range (Section VI-C).
-	var vs []float64
+	// The sample is evaluated in one parallel batch call.
 	stride := n/200 + 1
+	var sample [][]float64
 	for cell := 0; cell < n; cell += stride {
-		_, v := m.PredictWithVariance(pm.features[cell], 2)
-		vs = append(vs, v)
+		sample = append(sample, pm.features[cell])
 	}
+	vs := make([]float64, len(sample))
+	par.ForEachChunk(pm.Workers, len(sample), func(lo, hi int) {
+		_, chunk := m.PredictWithVarianceBatch(sample[lo:hi], 2)
+		copy(vs[lo:hi], chunk)
+	})
 	lo := stats.Percentile(vs, 10)
 	hi := stats.Percentile(vs, 90)
 	pm.squashLo = lo
@@ -86,25 +142,56 @@ func (pm *PlannerModel) Uncertainty(cell int, effort float64) float64 {
 }
 
 func (pm *PlannerModel) lookup(cell int, effort float64) [2]float64 {
-	k := cacheKey{cell, effort}
-	if v, ok := pm.cache[k]; ok {
+	if v, ok := pm.memo[cell].get(effort); ok {
 		return v
 	}
+	// Compute outside the lock so concurrent lookups of different cells (or
+	// breakpoints) never serialize on the model evaluation.
 	p, variance := pm.model.PredictWithVariance(pm.features[cell], effort)
 	out := [2]float64{p, iware.SquashVariance(variance-pm.squashLo, pm.squashScale)}
-	pm.cache[k] = out
+	pm.memo[cell].put(effort, out)
 	return out
 }
 
 // SquashScale returns the calibrated variance normalization constant.
 func (pm *PlannerModel) SquashScale() float64 { return pm.squashScale }
 
+// evalAll evaluates every park cell at one effort, reusing memoized entries
+// and batch-evaluating the missing cells in parallel chunks. Newly computed
+// cells are memoized for the planner's subsequent pointwise lookups.
+func (pm *PlannerModel) evalAll(effort float64) [][2]float64 {
+	n := len(pm.features)
+	out := make([][2]float64, n)
+	var missing []int
+	for cell := 0; cell < n; cell++ {
+		if v, ok := pm.memo[cell].get(effort); ok {
+			out[cell] = v
+		} else {
+			missing = append(missing, cell)
+		}
+	}
+	par.ForEachChunk(pm.Workers, len(missing), func(lo, hi int) {
+		rows := make([][]float64, hi-lo)
+		for k, cell := range missing[lo:hi] {
+			rows[k] = pm.features[cell]
+		}
+		ps, vars := pm.model.PredictWithVarianceBatch(rows, effort)
+		for k, cell := range missing[lo:hi] {
+			v := [2]float64{ps[k], iware.SquashVariance(vars[k]-pm.squashLo, pm.squashScale)}
+			out[cell] = v
+			pm.memo[cell].put(effort, v)
+		}
+	})
+	return out
+}
+
 // RiskMap evaluates the model over every park cell at a nominal effort,
 // returning the per-cell detection probabilities (Fig. 6 red maps).
 func (pm *PlannerModel) RiskMap(effort float64) []float64 {
-	out := make([]float64, len(pm.features))
-	for cell := range pm.features {
-		out[cell] = pm.Detect(cell, effort)
+	vals := pm.evalAll(effort)
+	out := make([]float64, len(vals))
+	for cell, v := range vals {
+		out[cell] = v[0]
 	}
 	return out
 }
@@ -112,21 +199,24 @@ func (pm *PlannerModel) RiskMap(effort float64) []float64 {
 // UncertaintyMap evaluates the squashed uncertainty over every park cell at
 // a nominal effort (Fig. 6 green maps).
 func (pm *PlannerModel) UncertaintyMap(effort float64) []float64 {
-	out := make([]float64, len(pm.features))
-	for cell := range pm.features {
-		out[cell] = pm.Uncertainty(cell, effort)
+	vals := pm.evalAll(effort)
+	out := make([]float64, len(vals))
+	for cell, v := range vals {
+		out[cell] = v[1]
 	}
 	return out
 }
 
 // RawVarianceMap returns the unsquashed predictive variance per cell at a
-// nominal effort (used for the Fig. 7 correlation study).
+// nominal effort (used for the Fig. 7 correlation study). Raw variances are
+// not memoized (the planner never queries them), so this always evaluates
+// the full park in parallel chunks.
 func (pm *PlannerModel) RawVarianceMap(effort float64) []float64 {
 	out := make([]float64, len(pm.features))
-	for cell := range pm.features {
-		_, v := pm.model.PredictWithVariance(pm.features[cell], effort)
-		out[cell] = v
-	}
+	par.ForEachChunk(pm.Workers, len(pm.features), func(lo, hi int) {
+		_, vars := pm.model.PredictWithVarianceBatch(pm.features[lo:hi], effort)
+		copy(out[lo:hi], vars)
+	})
 	return out
 }
 

@@ -118,10 +118,3 @@ func TrainOptionsAt(park string, kind ModelKind, scale Scale, seed int64) TrainO
 	}
 	return o
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
