@@ -8,6 +8,7 @@ package paws
 // regenerated numbers are visible in benchmark output.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -470,4 +471,53 @@ func BenchmarkTable2Sweep(b *testing.B) {
 		auc = rows[len(rows)-1].AUC
 	}
 	b.ReportMetric(auc, "AUC-last")
+}
+
+// BenchmarkServePredict measures the /v1/predict serving path: the batched
+// Service.Predict (chunked through the model's batch fast path, as the HTTP
+// endpoint runs it) against the naive one-point-at-a-time loop a client
+// would otherwise issue. Results are recorded in BENCH_serve.json.
+func BenchmarkServePredict(b *testing.B) {
+	sc := benchScenario(b, "MFNP")
+	split, err := sc.Data.SplitByTestYear(benchLastYear(sc), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := NewService(WithWorkers(0), WithSeed(57), WithThresholds(5), WithEnsembleSize(5), WithGPMaxTrain(80))
+	ctx := context.Background()
+	m, err := svc.Train(ctx, split.Train, WithKind(GPBiW))
+	if err != nil {
+		b.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(benchLastYear(sc))
+	if _, err := svc.AddModel(ctx, "bench", m, sc.Data, testFrom-1); err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, len(split.Test))
+	for i, p := range split.Test {
+		X[i] = p.Features
+	}
+	rows := float64(len(X))
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := svc.Predict(ctx, "bench", X, 1.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != len(X) {
+				b.Fatal("short response")
+			}
+		}
+		b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("perpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range X {
+				if p := m.PredictForEffort(x, 1.5); p < 0 || p > 1 {
+					b.Fatal("probability out of range")
+				}
+			}
+		}
+		b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
 }

@@ -1,0 +1,153 @@
+// Command pawsd serves a trained PAWS model over JSON/HTTP: batched
+// detection-probability predictions, park-wide risk maps (LRU-cached) and
+// robust patrol plans.
+//
+//	pawsd -train -model mfnp.paws                # train, persist, serve
+//	pawsd -model mfnp.paws                       # serve a persisted model
+//	pawsd -kind DTB-iW -park SWS -scale full …   # pick model and park
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/predict \
+//	     -d '{"model":"default","effort":1.5,"cells":[0,1,2]}'
+//	curl -s 'localhost:8080/v1/riskmap?model=default&effort=2'
+//	curl -s -X POST localhost:8080/v1/plan \
+//	     -d '{"model":"default","post":0,"beta":0.9}'
+//
+// The persisted model file stores only the model; the serving context (park
+// features and patrol-coverage covariate) is regenerated deterministically
+// from -park/-scale/-seed, so serve a model file with the same flags it was
+// trained under. Only a feature-width mismatch is detected and rejected at
+// startup — a different seed or a same-width park regenerates silently
+// different feature vectors, so matching the flags is the operator's
+// responsibility.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paws"
+	"paws/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	name := flag.String("name", "default", "name the model is served under")
+	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
+	scaleStr := flag.String("scale", "small", "park scale: full or small")
+	seed := flag.Int64("seed", 7, "root random seed")
+	kindStr := flag.String("kind", "GPB-iW", "model kind: SVB, DTB, GPB, SVB-iW, DTB-iW or GPB-iW")
+	modelPath := flag.String("model", "", "persisted model file to serve; with -train, where to save a freshly trained one")
+	train := flag.Bool("train", false, "train a model if -model is missing or unset")
+	trainYears := flag.Int("train-years", 3, "training window in years (training holds out the final simulated year)")
+	cvFolds := flag.Int("cv", 0, "iWare-E weight-optimization folds (0 = uniform weights)")
+	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+	cacheSize := flag.Int("cache", 64, "risk-map LRU cache entries (negative disables)")
+	flag.Parse()
+
+	if err := run(*addr, *name, *park, *scaleStr, *kindStr, *modelPath,
+		*seed, *train, *trainYears, *cvFolds, *workers, *timeout, *cacheSize); err != nil {
+		fmt.Fprintln(os.Stderr, "pawsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, name, park, scaleStr, kindStr, modelPath string,
+	seed int64, train bool, trainYears, cvFolds, workers int,
+	timeout time.Duration, cacheSize int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	scale, err := paws.ParseScale(scaleStr)
+	if err != nil {
+		return err
+	}
+	kind, err := paws.ParseModelKind(kindStr)
+	if err != nil {
+		return err
+	}
+	svc := paws.NewService(
+		paws.WithWorkers(workers),
+		paws.WithSeed(seed),
+		paws.WithKind(kind),
+		paws.WithPreset(park, scale),
+		paws.WithCVFolds(cvFolds),
+		paws.WithTrainYears(trainYears),
+	)
+
+	log.Printf("generating %s scenario (scale=%s seed=%d)", park, scaleStr, seed)
+	sc, err := svc.Scenario(ctx, park)
+	if err != nil {
+		return err
+	}
+	testYear := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+
+	var model *paws.Model
+	switch {
+	case modelPath != "":
+		if _, statErr := os.Stat(modelPath); statErr == nil {
+			log.Printf("loading persisted model from %s", modelPath)
+			model, err = paws.LoadModelFile(modelPath)
+			if err != nil {
+				return err
+			}
+		} else if !train {
+			return fmt.Errorf("model file %s does not exist (pass -train to train and save one)", modelPath)
+		}
+	case !train:
+		return errors.New("nothing to serve: pass -model with a persisted model, or -train")
+	}
+	if model == nil {
+		split, err := sc.Data.SplitByTestYear(testYear, trainYears)
+		if err != nil {
+			return err
+		}
+		log.Printf("training %v on %d points (%d-year window before %d)", kind, len(split.Train), trainYears, testYear)
+		start := time.Now()
+		model, err = svc.Train(ctx, split.Train)
+		if err != nil {
+			return err
+		}
+		log.Printf("trained in %s", time.Since(start).Round(time.Millisecond))
+		if modelPath != "" {
+			if err := model.SaveFile(modelPath); err != nil {
+				return err
+			}
+			log.Printf("persisted model to %s", modelPath)
+		}
+	}
+
+	// Freeze the serving context at the last pre-test step, mirroring how
+	// the experiments build their planner models.
+	testFrom, _ := sc.Data.StepsForYear(testYear)
+	if _, err := svc.AddModel(ctx, name, model, sc.Data, testFrom-1); err != nil {
+		return err
+	}
+	log.Printf("serving model %q (%v, %d park cells) on %s", name, model.Kind, sc.Park.Grid.NumCells(), addr)
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           serve.New(svc, serve.Config{RequestTimeout: timeout, RiskMapCacheSize: cacheSize}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

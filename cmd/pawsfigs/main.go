@@ -7,15 +7,19 @@
 //	pawsfigs -fig 8            # robust-planning ratio vs β and vs segments
 //	pawsfigs -fig 9            # planner runtime and utility vs segments
 //	pawsfigs -fig 10           # field-test obs/cell bar series
+//
+// Figures run under a signal-aware context: Ctrl-C cancels mid-sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"paws"
-	"paws/internal/dataset"
 )
 
 func main() {
@@ -23,26 +27,34 @@ func main() {
 	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
 	scaleStr := flag.String("scale", "small", "park scale: full or small")
 	seed := flag.Int64("seed", 7, "root random seed")
-	flag.IntVar(&workers, "workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU); output is identical either way")
+	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU); output is identical either way")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	scale, err := paws.ParseScale(*scaleStr)
 	if err != nil {
 		fatal(err)
 	}
+	svc := paws.NewService(
+		paws.WithSeed(*seed),
+		paws.WithWorkers(*workers),
+		paws.WithScale(scale),
+	)
 	switch *fig {
 	case 4:
-		err = fig4(scale, *seed)
+		err = fig4(ctx, svc)
 	case 6:
-		err = fig6(*park, scale, *seed)
+		err = fig6(ctx, svc, *park, scale)
 	case 7:
-		err = fig7(*park, scale, *seed)
+		err = fig7(ctx, svc, *park, scale)
 	case 8:
-		err = fig8(*park, scale, *seed)
+		err = fig8(ctx, svc, *park, scale)
 	case 9:
-		err = fig9(*park, scale, *seed)
+		err = fig9(ctx, svc, *park, scale, *seed)
 	case 10:
-		err = fig10(scale, *seed)
+		err = fig10(ctx, svc, scale)
 	default:
 		err = fmt.Errorf("unknown figure %d", *fig)
 	}
@@ -56,25 +68,21 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// workers is the -workers flag: the pool size every figure runner trains and
-// sweeps with (par.Workers semantics; results identical for any count).
-var workers int
-
 // lastYear returns the final simulated year of the scenario's dataset.
 func lastYear(sc *paws.Scenario) int {
 	steps := sc.Data.Steps
 	return steps[len(steps)-1].Year
 }
 
-func fig4(scale paws.Scale, seed int64) error {
+func fig4(ctx context.Context, svc *paws.Service) error {
 	fmt.Println("FIG 4: % positive labels vs patrol-effort percentile")
 	fmt.Println("park,percentile,train_rate,test_rate")
 	for _, name := range []string{"MFNP", "QENP", "SWS"} {
-		sc, err := paws.ScenarioAt(name, scale, seed)
+		sc, err := svc.Scenario(ctx, name)
 		if err != nil {
 			return err
 		}
-		s, err := paws.RunFig4(sc, name, lastYear(sc), 3, false)
+		s, err := svc.Fig4(ctx, sc, name, lastYear(sc))
 		if err != nil {
 			return err
 		}
@@ -85,14 +93,13 @@ func fig4(scale paws.Scale, seed int64) error {
 	return nil
 }
 
-func fig6(park string, scale paws.Scale, seed int64) error {
-	sc, err := paws.ScenarioAt(park, scale, seed)
+func fig6(ctx context.Context, svc *paws.Service, park string, scale paws.Scale) error {
+	sc, err := svc.Scenario(ctx, park)
 	if err != nil {
 		return err
 	}
-	opts := paws.TrainOptionsAt(park, paws.GPBiW, scale, seed)
-	opts.Workers = workers
-	maps, err := paws.RunFig6(sc, paws.GPBiW, lastYear(sc), 3, opts)
+	maps, err := svc.Fig6(ctx, sc, lastYear(sc),
+		paws.WithPreset(park, scale), paws.WithKind(paws.GPBiW))
 	if err != nil {
 		return err
 	}
@@ -109,14 +116,12 @@ func fig6(park string, scale paws.Scale, seed int64) error {
 	return nil
 }
 
-func fig7(park string, scale paws.Scale, seed int64) error {
-	sc, err := paws.ScenarioAt(park, scale, seed)
+func fig7(ctx context.Context, svc *paws.Service, park string, scale paws.Scale) error {
+	sc, err := svc.Scenario(ctx, park)
 	if err != nil {
 		return err
 	}
-	opts := paws.TrainOptionsAt(park, paws.GPB, scale, seed)
-	opts.Workers = workers
-	res, err := paws.RunFig7(sc, lastYear(sc), 3, opts)
+	res, err := svc.Fig7(ctx, sc, lastYear(sc), paws.WithPreset(park, scale))
 	if err != nil {
 		return err
 	}
@@ -133,30 +138,32 @@ func fig7(park string, scale paws.Scale, seed int64) error {
 	return nil
 }
 
-func planStudy(park string, scale paws.Scale, seed int64) (*paws.PlanStudy, error) {
-	sc, err := paws.ScenarioAt(park, scale, seed)
+func planStudy(ctx context.Context, svc *paws.Service, park string, scale paws.Scale) (*paws.PlanStudy, error) {
+	sc, err := svc.Scenario(ctx, park)
 	if err != nil {
 		return nil, err
 	}
-	opts := paws.PlanStudyOptions{
-		Train:   paws.TrainOptionsAt(park, paws.GPBiW, scale, seed),
-		Workers: workers,
+	opts := []paws.Option{
+		paws.WithPreset(park, scale),
+		paws.WithKind(paws.GPBiW),
+		paws.WithTestYears(lastYear(sc)),
 	}
 	if scale == paws.ScaleSmall {
-		opts.Posts = 3
-		opts.Segments = 8
-		opts.SegmentCounts = []int{5, 10, 15, 20, 25}
+		opts = append(opts,
+			paws.WithPosts(3),
+			paws.WithPlanHorizon(0, 0, 8),
+			paws.WithSegmentCounts(5, 10, 15, 20, 25),
+		)
 	}
-	opts.TestYear = lastYear(sc)
-	return paws.NewPlanStudy(sc, opts)
+	return svc.PlanStudy(ctx, sc, opts...)
 }
 
-func fig8(park string, scale paws.Scale, seed int64) error {
-	ps, err := planStudy(park, scale, seed)
+func fig8(ctx context.Context, svc *paws.Service, park string, scale paws.Scale) error {
+	ps, err := planStudy(ctx, svc, park, scale)
 	if err != nil {
 		return err
 	}
-	beta, err := ps.RunFig8Beta()
+	beta, err := ps.RunFig8BetaCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -165,7 +172,7 @@ func fig8(park string, scale paws.Scale, seed int64) error {
 	for _, pt := range beta {
 		fmt.Printf("%.2f,%.4f,%.4f\n", pt.Beta, pt.Avg, pt.Max)
 	}
-	segs, err := ps.RunFig8Segments()
+	segs, err := ps.RunFig8SegmentsCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -177,12 +184,12 @@ func fig8(park string, scale paws.Scale, seed int64) error {
 	return nil
 }
 
-func fig9(park string, scale paws.Scale, seed int64) error {
-	ps, err := planStudy(park, scale, seed)
+func fig9(ctx context.Context, svc *paws.Service, park string, scale paws.Scale, seed int64) error {
+	ps, err := planStudy(ctx, svc, park, scale)
 	if err != nil {
 		return err
 	}
-	pts, err := ps.RunFig9()
+	pts, err := ps.RunFig9Ctx(ctx)
 	if err != nil {
 		return err
 	}
@@ -191,7 +198,7 @@ func fig9(park string, scale paws.Scale, seed int64) error {
 	for _, pt := range pts {
 		fmt.Printf("%d,%s,%.4f,%d\n", pt.Segments, paws.FormatDuration(pt.Runtime), pt.Utility, pt.Nodes)
 	}
-	gain, err := ps.RunDetectionGain(12, seed)
+	gain, err := ps.RunDetectionGainCtx(ctx, 12, seed)
 	if err != nil {
 		return err
 	}
@@ -202,7 +209,7 @@ func fig9(park string, scale paws.Scale, seed int64) error {
 	return nil
 }
 
-func fig10(scale paws.Scale, seed int64) error {
+func fig10(ctx context.Context, svc *paws.Service, scale paws.Scale) error {
 	fmt.Println("FIG 10: detected poaching per cell patrolled by risk group")
 	fmt.Println("trial,group,obs_per_cell")
 	type trial struct {
@@ -214,7 +221,7 @@ func fig10(scale paws.Scale, seed int64) error {
 		{"MFNP", 2, []int{2, 3}},
 		{"SWS", 3, []int{2, 2}},
 	} {
-		sc, err := paws.ScenarioAt(tr.park, scale, seed)
+		sc, err := svc.Scenario(ctx, tr.park)
 		if err != nil {
 			return err
 		}
@@ -230,12 +237,11 @@ func fig10(scale paws.Scale, seed int64) error {
 		if scale == paws.ScaleSmall {
 			perGroup = 3 // small parks tile into few complete blocks per band
 		}
-		trials, err := paws.RunTable3ForScenario(sc, tr.park, tr.blockSize, tr.months, paws.Table3Options{
-			PerGroup:           perGroup,
-			EffortPerCellMonth: effort,
-			Train:              paws.TrainOptionsAt(tr.park, kind, scale, seed),
-			Seed:               seed,
-		})
+		trials, err := svc.Table3(ctx, sc, tr.park, tr.blockSize, tr.months,
+			paws.WithPreset(tr.park, scale),
+			paws.WithKind(kind),
+			paws.WithFieldProtocol(perGroup, effort),
+		)
 		if err != nil {
 			return err
 		}
@@ -245,6 +251,5 @@ func fig10(scale paws.Scale, seed int64) error {
 			}
 		}
 	}
-	_ = dataset.BaseYear
 	return nil
 }

@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"paws"
 )
@@ -22,11 +25,15 @@ func main() {
 	raster := flag.String("raster", "", "print an ASCII raster: effort, activity or elevation")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale, err := paws.ParseScale(*scaleStr)
 	if err != nil {
 		fatal(err)
 	}
-	sc, err := paws.ScenarioAt(*park, scale, *seed)
+	svc := paws.NewService(paws.WithSeed(*seed), paws.WithScale(scale))
+	sc, err := svc.Scenario(ctx, *park)
 	if err != nil {
 		fatal(err)
 	}

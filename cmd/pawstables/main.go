@@ -6,12 +6,17 @@
 //
 // Scale "full" uses the Table I-calibrated parks (slow but faithful);
 // "small" uses reduced parks that preserve the qualitative structure.
+// Sweeps run under a signal-aware context: Ctrl-C cancels mid-sweep
+// (in-flight cells drain, nothing new starts).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"paws"
@@ -26,17 +31,26 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU); output is identical either way")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scale, err := paws.ParseScale(*scaleStr)
 	if err != nil {
 		fatal(err)
 	}
+	svc := paws.NewService(
+		paws.WithSeed(*seed),
+		paws.WithWorkers(*workers),
+		paws.WithCVFolds(*cvFolds),
+		paws.WithScale(scale),
+	)
 	switch *table {
 	case 1:
-		err = table1(*seed, *workers)
+		err = table1(ctx, svc)
 	case 2:
-		err = table2(scale, *seed, *cvFolds, *workers)
+		err = table2(ctx, svc, scale, *seed)
 	case 3:
-		err = table3(scale, *seed, *workers)
+		err = table3(ctx, svc, scale)
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
 	}
@@ -50,8 +64,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func table1(seed int64, workers int) error {
-	rows, err := paws.RunTable1(seed, workers)
+func table1(ctx context.Context, svc *paws.Service) error {
+	rows, err := svc.Table1(ctx)
 	if err != nil {
 		return err
 	}
@@ -65,7 +79,7 @@ func table1(seed int64, workers int) error {
 	return w.Flush()
 }
 
-func table2(scale paws.Scale, seed int64, cvFolds, workers int) error {
+func table2(ctx context.Context, svc *paws.Service, scale paws.Scale, seed int64) error {
 	parks := []struct {
 		name string
 		dry  bool
@@ -80,7 +94,7 @@ func table2(scale paws.Scale, seed int64, cvFolds, workers int) error {
 	fmt.Fprintln(w, "dataset\tyear\tSVB\tDTB\tGPB\tSVB-iW\tDTB-iW\tGPB-iW")
 	var all []paws.Table2Row
 	for _, pk := range parks {
-		sc, err := paws.ScenarioAt(pk.name, scale, seed)
+		sc, err := svc.Scenario(ctx, pk.name)
 		if err != nil {
 			return err
 		}
@@ -88,17 +102,11 @@ func table2(scale paws.Scale, seed int64, cvFolds, workers int) error {
 		if pk.dry {
 			label += " dry"
 		}
-		base := paws.TrainOptionsAt(pk.name, paws.SVB, scale, seed)
-		rows, err := paws.RunTable2ForScenario(sc, label, paws.Table2Options{
-			Dry:        pk.dry,
-			Thresholds: base.Thresholds,
-			Members:    base.Members,
-			GPMaxTrain: base.GPMaxTrain,
-			Balanced:   base.Balanced,
-			CVFolds:    cvFolds,
-			Seed:       seed,
-			Workers:    workers,
-		})
+		rows, err := svc.Table2(ctx, sc, label,
+			paws.WithPreset(pk.name, scale),
+			paws.WithDrySeason(pk.dry),
+			paws.WithSeed(seed),
+		)
 		if err != nil {
 			return err
 		}
@@ -130,7 +138,7 @@ func table2(scale paws.Scale, seed int64, cvFolds, workers int) error {
 	return nil
 }
 
-func table3(scale paws.Scale, seed int64, workers int) error {
+func table3(ctx context.Context, svc *paws.Service, scale paws.Scale) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "TABLE III: Field test results")
 	fmt.Fprintln(w, "trial\trisk group\t# Obs\t# Cells\tEffort\t# Obs / # Cells")
@@ -143,7 +151,7 @@ func table3(scale paws.Scale, seed int64, workers int) error {
 		{"MFNP", 2, []int{2, 3}},
 		{"SWS", 3, []int{2, 2}},
 	} {
-		sc, err := paws.ScenarioAt(tr.park, scale, seed)
+		sc, err := svc.Scenario(ctx, tr.park)
 		if err != nil {
 			return err
 		}
@@ -159,13 +167,11 @@ func table3(scale paws.Scale, seed int64, workers int) error {
 		if scale == paws.ScaleSmall {
 			perGroup = 3 // small parks tile into few complete blocks per band
 		}
-		trials, err := paws.RunTable3ForScenario(sc, tr.park, tr.blockSize, tr.months, paws.Table3Options{
-			PerGroup:           perGroup,
-			EffortPerCellMonth: effort,
-			Train:              paws.TrainOptionsAt(tr.park, kind, scale, seed),
-			Seed:               seed,
-			Workers:            workers,
-		})
+		trials, err := svc.Table3(ctx, sc, tr.park, tr.blockSize, tr.months,
+			paws.WithPreset(tr.park, scale),
+			paws.WithKind(kind),
+			paws.WithFieldProtocol(perGroup, effort),
+		)
 		if err != nil {
 			return err
 		}

@@ -147,8 +147,19 @@ func TestPlannerModelConcurrentLookups(t *testing.T) {
 			defer wg.Done()
 			e := efforts[g%len(efforts)]
 			if g%4 == 0 {
-				// Whole-map readers race against pointwise readers.
-				assertSameFloats(t, "concurrent RiskMap", wantDetect[e], pm.RiskMap(e))
+				// Whole-map readers race against pointwise readers. Report
+				// through errCh: t.Fatal must not run off the test goroutine.
+				got := pm.RiskMap(e)
+				if len(got) != len(wantDetect[e]) {
+					errCh <- fmt.Errorf("concurrent RiskMap length %d, want %d", len(got), len(wantDetect[e]))
+					return
+				}
+				for cell := range got {
+					if got[cell] != wantDetect[e][cell] {
+						errCh <- errMismatch(cell, got[cell], wantDetect[e][cell])
+						return
+					}
+				}
 				return
 			}
 			for cell := g % 7; cell < n; cell += 7 {

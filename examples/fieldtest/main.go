@@ -2,7 +2,8 @@
 // iWare-E model on historical data, select km-scale blocks in high/medium/
 // low predicted-risk bands among sparsely patrolled areas, simulate ranger
 // patrols with the risk groups hidden, and report the Table III statistics
-// with a chi-squared significance test.
+// with a chi-squared significance test — through the context-aware Service
+// API.
 //
 // The example uses the reduced MFNP park (2×2 km blocks, as in the paper's
 // MFNP trials). The SWS trials need the full-scale park to have statistical
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,15 +21,21 @@ import (
 )
 
 func main() {
-	sc, err := paws.ScenarioAt("MFNP", paws.ScaleSmall, 7)
+	ctx := context.Background()
+	svc := paws.NewService(
+		paws.WithSeed(13),
+		paws.WithPreset("MFNP", paws.ScaleSmall),
+	)
+	sc, err := svc.Scenario(ctx, "MFNP", paws.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	trials, err := paws.RunTable3ForScenario(sc, "MFNP-small", 2, []int{2, 3}, paws.Table3Options{
-		PerGroup: 3, // the small park tiles into few complete blocks per band
-		Train:    paws.TrainOptionsAt("MFNP", paws.DTBiW, paws.ScaleSmall, 13),
-		Seed:     17,
-	})
+	trials, err := svc.Table3(ctx, sc, "MFNP-small", 2, []int{2, 3},
+		paws.WithKind(paws.DTBiW),
+		// The small park tiles into few complete blocks per band.
+		paws.WithFieldProtocol(3, 0),
+		paws.WithSeed(17),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 // Patrolplan: compute robust patrol routes for one patrol post (Section VI).
-// Trains GPB-iW, builds the post's planning region, solves the patrol MILP
-// at several robustness levels β, and shows how effort shifts away from
-// high-uncertainty cells as β grows.
+// Trains GPB-iW through the Service API, builds the post's planning region,
+// solves the patrol MILP at several robustness levels β, and shows how
+// effort shifts away from high-uncertainty cells as β grows.
 //
 //	go run ./examples/patrolplan
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,22 +16,24 @@ import (
 )
 
 func main() {
-	sc, err := paws.ScenarioAt("QENP", paws.ScaleSmall, 21)
+	ctx := context.Background()
+	svc := paws.NewService(
+		paws.WithSeed(23),
+		paws.WithPreset("QENP", paws.ScaleSmall),
+	)
+	sc, err := svc.Scenario(ctx, "QENP", paws.WithSeed(21))
 	if err != nil {
 		log.Fatal(err)
 	}
 	steps := sc.Data.Steps
-	ps, err := paws.NewPlanStudy(sc, paws.PlanStudyOptions{
-		Posts:    1,
-		Radius:   2,
-		MaxCells: 18,
-		T:        5,
-		K:        2,
-		Segments: 8,
-		Betas:    []float64{0.8, 0.9, 1.0},
-		TestYear: steps[len(steps)-1].Year,
-		Train:    paws.TrainOptionsAt("QENP", paws.GPBiW, paws.ScaleSmall, 23),
-	})
+	ps, err := svc.PlanStudy(ctx, sc,
+		paws.WithKind(paws.GPBiW),
+		paws.WithPosts(1),
+		paws.WithRegionShape(2, 18),
+		paws.WithPlanHorizon(5, 2, 8),
+		paws.WithBetas(0.8, 0.9, 1.0),
+		paws.WithTestYears(steps[len(steps)-1].Year),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func main() {
 
 	// Ratio study: how much better is the robust plan under the robust
 	// objective (Fig 8 a-c analogue for one post)?
-	pts, err := ps.RunFig8Beta()
+	pts, err := ps.RunFig8BetaCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

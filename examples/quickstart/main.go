@@ -1,21 +1,33 @@
 // Quickstart: generate a small synthetic park, train the paper's preferred
-// GPB-iW model on the first years of simulated patrol history, and print the
-// predicted poaching-risk map for the held-out year.
+// GPB-iW model through the context-aware Service API, persist it, and print
+// the predicted poaching-risk map for the held-out year.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"paws"
 )
 
 func main() {
-	// 1. Generate a park with five years of SMART-style patrol history.
+	ctx := context.Background()
+
+	// 1. A Service carries deployment-wide defaults (seed, worker pool,
+	//    ensemble shape) through every call; per-call options override them.
+	svc := paws.NewService(
+		paws.WithSeed(7),
+		paws.WithPreset("MFNP", paws.ScaleSmall),
+	)
+
+	// 2. Generate a park with five years of SMART-style patrol history.
 	//    ScaleSmall keeps this run under a few seconds.
-	sc, err := paws.ScenarioAt("MFNP", paws.ScaleSmall, 42)
+	sc, err := svc.Scenario(ctx, "MFNP", paws.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,7 +35,7 @@ func main() {
 	fmt.Printf("park: %d cells, %d features, %d data points, %.1f%% positive labels\n",
 		stats.NumCells, stats.NumFeatures, stats.NumPoints, stats.PctPositive)
 
-	// 2. Split chronologically: train on the first years, test on the last.
+	// 3. Split chronologically: train on the first years, test on the last.
 	steps := sc.Data.Steps
 	testYear := steps[len(steps)-1].Year
 	split, err := sc.Data.SplitByTestYear(testYear, 3)
@@ -33,21 +45,36 @@ func main() {
 	fmt.Printf("training on %d points, testing on %d points (year %d)\n",
 		len(split.Train), len(split.Test), testYear)
 
-	// 3. Train the GPB-iW model: Gaussian-process weak learners inside the
+	// 4. Train the GPB-iW model: Gaussian-process weak learners inside the
 	//    iWare-E ensemble, which discards unreliable low-effort negatives.
-	model, err := paws.Train(split.Train, paws.TrainOptionsAt("MFNP", paws.GPBiW, paws.ScaleSmall, 7))
+	model, err := svc.Train(ctx, split.Train, paws.WithKind(paws.GPBiW))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("held-out AUC: %.3f\n", model.AUC(split.Test))
 
-	// 4. Produce the risk map for the test year at a nominal patrol effort.
-	testFrom, _ := sc.Data.StepsForYear(testYear)
-	pm, err := paws.NewPlannerModel(model, sc.Data, testFrom-1)
+	// 5. Persist the model and reload it — the loaded model predicts
+	//    byte-identically, so train once, serve forever (see cmd/pawsd).
+	path := filepath.Join(os.TempDir(), "quickstart-gpbiw.paws")
+	if err := model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := paws.LoadModelFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	risk := pm.RiskMap(paws.NominalEffort(sc.Data))
+	fmt.Printf("persisted to %s and reloaded (kind %v)\n", path, loaded.Kind)
+
+	// 6. Register the loaded model and produce the test-year risk map at a
+	//    nominal patrol effort.
+	testFrom, _ := sc.Data.StepsForYear(testYear)
+	if _, err := svc.AddModel(ctx, "mfnp", loaded, sc.Data, testFrom-1); err != nil {
+		log.Fatal(err)
+	}
+	risk, _, err := svc.RiskMaps(ctx, "mfnp", paws.NominalEffort(sc.Data))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\npredicted poaching risk (darker = higher):")
 	fmt.Println(paws.RasterASCII(sc.Park, risk))
 }

@@ -2,12 +2,14 @@
 // risk and uncertainty maps from GPB-iW at increasing patrol effort, and the
 // prediction-vs-variance correlation contrast between Gaussian processes
 // (uncertainty tracks data density) and bagged decision trees (uncertainty
-// is a near-deterministic function of the prediction).
+// is a near-deterministic function of the prediction) — through the
+// context-aware Service API.
 //
 //	go run ./examples/uncertainty
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +17,12 @@ import (
 )
 
 func main() {
-	sc, err := paws.ScenarioAt("MFNP", paws.ScaleSmall, 11)
+	ctx := context.Background()
+	svc := paws.NewService(
+		paws.WithSeed(13),
+		paws.WithPreset("MFNP", paws.ScaleSmall),
+	)
+	sc, err := svc.Scenario(ctx, "MFNP", paws.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,8 +30,7 @@ func main() {
 	testYear := steps[len(steps)-1].Year
 
 	// Fig. 6: risk and uncertainty maps at several planned effort levels.
-	opts := paws.TrainOptionsAt("MFNP", paws.GPBiW, paws.ScaleSmall, 13)
-	maps, err := paws.RunFig6(sc, paws.GPBiW, testYear, 3, opts)
+	maps, err := svc.Fig6(ctx, sc, testYear, paws.WithKind(paws.GPBiW))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +47,7 @@ func main() {
 	}
 
 	// Fig. 7: correlation of prediction with uncertainty, GP vs bagged trees.
-	res, err := paws.RunFig7(sc, testYear, 3, opts)
+	res, err := svc.Fig7(ctx, sc, testYear)
 	if err != nil {
 		log.Fatal(err)
 	}

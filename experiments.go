@@ -1,6 +1,7 @@
 package paws
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -30,9 +31,15 @@ type Table1Row = dataset.Stats
 // goroutines (par.Workers semantics); rows come back in the fixed park
 // order regardless of which finishes first.
 func RunTable1(seed int64, workers int) ([]Table1Row, error) {
+	return RunTable1Ctx(context.Background(), seed, workers)
+}
+
+// RunTable1Ctx is RunTable1 under a context, observed between (and inside)
+// the per-park scenario generations.
+func RunTable1Ctx(ctx context.Context, seed int64, workers int) ([]Table1Row, error) {
 	parks := []string{"MFNP", "QENP", "SWS"}
-	perPark, err := par.MapErr(workers, len(parks), func(i int) ([]Table1Row, error) {
-		sc, err := NewScenario(parks[i], seed)
+	perPark, err := par.MapErrCtx(ctx, workers, len(parks), func(i int) ([]Table1Row, error) {
+		sc, err := NewScenarioCtx(ctx, parks[i], seed)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +123,14 @@ func lastYears(d *dataset.Dataset, n int) []int {
 
 // RunTable2ForScenario evaluates the selected models on one scenario.
 func RunTable2ForScenario(sc *Scenario, name string, opts Table2Options) ([]Table2Row, error) {
+	return RunTable2ForScenarioCtx(context.Background(), sc, name, opts)
+}
+
+// RunTable2ForScenarioCtx is RunTable2ForScenario under a context: the
+// (test year × model kind) sweep stops launching new train+evaluate cells
+// once the context is done, drains cells in flight, and returns the
+// context's error — and each cell's training observes the context too.
+func RunTable2ForScenarioCtx(ctx context.Context, sc *Scenario, name string, opts Table2Options) ([]Table2Row, error) {
 	o := opts.withDefaults()
 	d := sc.Data
 	if o.Dry {
@@ -152,9 +167,9 @@ func RunTable2ForScenario(sc *Scenario, name string, opts Table2Options) ([]Tabl
 			cells = append(cells, cell{split: split, year: year, kind: kind, seed: o.Seed + int64(yi*100+ki)})
 		}
 	}
-	return par.MapErr(o.Workers, len(cells), func(i int) (Table2Row, error) {
+	return par.MapErrCtx(ctx, o.Workers, len(cells), func(i int) (Table2Row, error) {
 		c := cells[i]
-		m, err := Train(c.split.Train, TrainOptions{
+		m, err := TrainCtx(ctx, c.split.Train, TrainOptions{
 			Kind:       c.kind,
 			Thresholds: o.Thresholds,
 			Members:    o.Members,
@@ -208,6 +223,15 @@ type Fig4Series struct {
 
 // RunFig4 computes the Fig. 4 curves from a scenario's train/test split.
 func RunFig4(sc *Scenario, name string, testYear, trainYears int, dry bool) (Fig4Series, error) {
+	return RunFig4Ctx(context.Background(), sc, name, testYear, trainYears, dry)
+}
+
+// RunFig4Ctx is RunFig4 under a context (checked once; the computation is a
+// single pass over the split).
+func RunFig4Ctx(ctx context.Context, sc *Scenario, name string, testYear, trainYears int, dry bool) (Fig4Series, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Fig4Series{}, err
+	}
 	d := sc.Data
 	if dry {
 		if sc.DryData == nil {
@@ -246,24 +270,34 @@ type Fig6Maps struct {
 // RunFig6 trains the given model kind on the scenario's train years and
 // evaluates risk/uncertainty maps at the paper's effort levels.
 func RunFig6(sc *Scenario, kind ModelKind, testYear, trainYears int, opts TrainOptions) (*Fig6Maps, error) {
+	return RunFig6Ctx(context.Background(), sc, kind, testYear, trainYears, opts)
+}
+
+// RunFig6Ctx is RunFig6 under a context, observed through training and
+// between map-sweep chunks.
+func RunFig6Ctx(ctx context.Context, sc *Scenario, kind ModelKind, testYear, trainYears int, opts TrainOptions) (*Fig6Maps, error) {
 	split, err := sc.Data.SplitByTestYear(testYear, trainYears)
 	if err != nil {
 		return nil, err
 	}
 	opts.Kind = kind
-	m, err := Train(split.Train, opts)
+	m, err := TrainCtx(ctx, split.Train, opts)
 	if err != nil {
 		return nil, err
 	}
 	testFrom, _ := sc.Data.StepsForYear(testYear)
-	pm, err := NewPlannerModelWorkers(m, sc.Data, testFrom-1, opts.Workers)
+	pm, err := NewPlannerModelCtx(ctx, m, sc.Data, testFrom-1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	out := &Fig6Maps{EffortLevels: []float64{0.5, 1, 2, 3}}
 	for _, e := range out.EffortLevels {
-		out.Risk = append(out.Risk, pm.RiskMap(e))
-		out.Uncertainty = append(out.Uncertainty, pm.UncertaintyMap(e))
+		risk, unc, err := pm.MapsCtx(ctx, e)
+		if err != nil {
+			return nil, err
+		}
+		out.Risk = append(out.Risk, risk)
+		out.Uncertainty = append(out.Uncertainty, unc)
 	}
 	// Historical context: effort and activity summed over the train years.
 	n := sc.Park.Grid.NumCells()
@@ -300,15 +334,21 @@ type Fig7Result struct {
 // years and correlates predictions with uncertainty on the test points
 // (paper: r ≈ −0.198 for GPs vs 0.979 for bagged trees).
 func RunFig7(sc *Scenario, testYear, trainYears int, opts TrainOptions) (*Fig7Result, error) {
+	return RunFig7Ctx(context.Background(), sc, testYear, trainYears, opts)
+}
+
+// RunFig7Ctx is RunFig7 under a context, observed through both probe-model
+// trainings.
+func RunFig7Ctx(ctx context.Context, sc *Scenario, testYear, trainYears int, opts TrainOptions) (*Fig7Result, error) {
 	split, err := sc.Data.SplitByTestYear(testYear, trainYears)
 	if err != nil {
 		return nil, err
 	}
 	// The two probe models are independent; train them concurrently.
-	models, err := par.MapErr(opts.Workers, 2, func(i int) (*Model, error) {
+	models, err := par.MapErrCtx(ctx, opts.Workers, 2, func(i int) (*Model, error) {
 		mo := opts
 		mo.Kind = []ModelKind{GPB, DTB}[i]
-		return Train(split.Train, mo)
+		return TrainCtx(ctx, split.Train, mo)
 	})
 	if err != nil {
 		return nil, err
@@ -405,6 +445,12 @@ type PlanStudy struct {
 // NewPlanStudy trains the planning model (GPB-iW by default) and builds the
 // per-post regions.
 func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
+	return NewPlanStudyCtx(context.Background(), sc, opts)
+}
+
+// NewPlanStudyCtx is NewPlanStudy under a context, observed through model
+// training and planner-model calibration.
+func NewPlanStudyCtx(ctx context.Context, sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
 	o := opts.withDefaults()
 	split, err := sc.Data.SplitByTestYear(o.TestYear, o.TrainYears)
 	if err != nil {
@@ -417,12 +463,12 @@ func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
 	if tr.Workers == 0 {
 		tr.Workers = o.Workers
 	}
-	m, err := Train(split.Train, tr)
+	m, err := TrainCtx(ctx, split.Train, tr)
 	if err != nil {
 		return nil, err
 	}
 	testFrom, _ := sc.Data.StepsForYear(o.TestYear)
-	pm, err := NewPlannerModelWorkers(m, sc.Data, testFrom-1, o.Workers)
+	pm, err := NewPlannerModelCtx(ctx, m, sc.Data, testFrom-1, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -451,12 +497,23 @@ func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
 
 // RunFig8Beta computes the Fig. 8(a–c) ratio-vs-β series.
 func (ps *PlanStudy) RunFig8Beta() ([]game.RatioPoint, error) {
-	return game.BetaSweep(ps.Regions, ps.Model, ps.Config, ps.opts.Betas)
+	return ps.RunFig8BetaCtx(context.Background())
+}
+
+// RunFig8BetaCtx is RunFig8Beta under a context, observed between solves.
+func (ps *PlanStudy) RunFig8BetaCtx(ctx context.Context) ([]game.RatioPoint, error) {
+	return game.BetaSweepCtx(ctx, ps.Regions, ps.Model, ps.Config, ps.opts.Betas)
 }
 
 // RunFig8Segments computes the Fig. 8(d–f) ratio-vs-segments series at β=1.
 func (ps *PlanStudy) RunFig8Segments() ([]game.RatioPoint, error) {
-	return game.SegmentRatioSweep(ps.Regions, ps.Model, ps.Config, 1.0, ps.opts.SegmentCounts)
+	return ps.RunFig8SegmentsCtx(context.Background())
+}
+
+// RunFig8SegmentsCtx is RunFig8Segments under a context, observed between
+// solves.
+func (ps *PlanStudy) RunFig8SegmentsCtx(ctx context.Context) ([]game.RatioPoint, error) {
+	return game.SegmentRatioSweepCtx(ctx, ps.Regions, ps.Model, ps.Config, 1.0, ps.opts.SegmentCounts)
 }
 
 // RunFig9 computes the runtime and utility-convergence series of Fig. 9.
@@ -465,6 +522,11 @@ func (ps *PlanStudy) RunFig8Segments() ([]game.RatioPoint, error) {
 // solver: runtime grows with the PWL segment count while the utility
 // converges.
 func (ps *PlanStudy) RunFig9() ([]game.SegmentPoint, error) {
+	return ps.RunFig9Ctx(context.Background())
+}
+
+// RunFig9Ctx is RunFig9 under a context, observed between solves.
+func (ps *PlanStudy) RunFig9Ctx(ctx context.Context) ([]game.SegmentPoint, error) {
 	region, err := plan.NewRegion(ps.Scenario.Park, ps.Regions[0].Post, 3, 14)
 	if err != nil {
 		return nil, err
@@ -472,15 +534,24 @@ func (ps *PlanStudy) RunFig9() ([]game.SegmentPoint, error) {
 	cfg := ps.Config
 	cfg.T = 6
 	cfg.Solver = plan.SolverMILP
-	return game.SegmentSweep(region, ps.Model, cfg, ps.opts.SegmentCounts)
+	return game.SegmentSweepCtx(ctx, region, ps.Model, cfg, ps.opts.SegmentCounts)
 }
 
 // RunDetectionGain simulates robust (β=1) vs blind (β=0) plans against the
 // scenario's ground truth and reports the detection factor — the analogue
 // of the paper's "30% more snares detected" claim.
 func (ps *PlanStudy) RunDetectionGain(months int, seed int64) (game.DetectionResult, error) {
+	return ps.RunDetectionGainCtx(context.Background(), months, seed)
+}
+
+// RunDetectionGainCtx is RunDetectionGain under a context, observed between
+// per-region solves.
+func (ps *PlanStudy) RunDetectionGainCtx(ctx context.Context, months int, seed int64) (game.DetectionResult, error) {
 	agg := game.DetectionResult{}
 	for i, region := range ps.Regions {
+		if err := ctxErr(ctx); err != nil {
+			return agg, err
+		}
 		cfgR := ps.Config
 		cfgR.Beta = 1
 		robust, err := plan.Solve(region, ps.Model, cfgR)
@@ -538,6 +609,12 @@ type Table3Options struct {
 // RunTable3ForScenario runs two trials on one scenario (matching the two
 // MFNP trials and two SWS trials of Table III).
 func RunTable3ForScenario(sc *Scenario, name string, blockSize int, trialMonths []int, opts Table3Options) ([]Table3Trial, error) {
+	return RunTable3ForScenarioCtx(context.Background(), sc, name, blockSize, trialMonths, opts)
+}
+
+// RunTable3ForScenarioCtx is RunTable3ForScenario under a context, observed
+// through training, risk-map generation and between trials.
+func RunTable3ForScenarioCtx(ctx context.Context, sc *Scenario, name string, blockSize int, trialMonths []int, opts Table3Options) ([]Table3Trial, error) {
 	if opts.PerGroup <= 0 {
 		opts.PerGroup = 5
 	}
@@ -566,16 +643,19 @@ func RunTable3ForScenario(sc *Scenario, name string, blockSize int, trialMonths 
 	if tr.Workers == 0 {
 		tr.Workers = opts.Workers
 	}
-	m, err := Train(split.Train, tr)
+	m, err := TrainCtx(ctx, split.Train, tr)
 	if err != nil {
 		return nil, err
 	}
 	testFrom, _ := d.StepsForYear(testYear)
-	pm, err := NewPlannerModelWorkers(m, d, testFrom-1, opts.Workers)
+	pm, err := NewPlannerModelCtx(ctx, m, d, testFrom-1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	risk := pm.RiskMap(NominalEffort(d))
+	risk, err := pm.RiskMapCtx(ctx, NominalEffort(d))
+	if err != nil {
+		return nil, err
+	}
 	// History: total effort over the training window.
 	n := sc.Park.Grid.NumCells()
 	history := make([]float64, n)
@@ -587,6 +667,9 @@ func RunTable3ForScenario(sc *Scenario, name string, blockSize int, trialMonths 
 	var trials []Table3Trial
 	startMonth := d.Steps[testFrom].Months[0]
 	for i, months := range trialMonths {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		proto := field.Protocol{
 			BlockSize:            blockSize,
 			PerGroup:             opts.PerGroup,

@@ -12,6 +12,7 @@
 package game
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,11 +37,18 @@ type RatioPoint struct {
 // fans out over cfg.Workers goroutines; aggregation runs in (β, region)
 // order afterwards, so the series is identical for any worker count.
 func BetaSweep(regions []*plan.Region, model plan.CellModel, cfg plan.Config, betas []float64) ([]RatioPoint, error) {
+	return BetaSweepCtx(context.Background(), regions, model, cfg, betas)
+}
+
+// BetaSweepCtx is BetaSweep under a context, observed between solves: a
+// canceled or expired context stops launching new (β, region) solves,
+// drains the ones in flight, and returns the context's error.
+func BetaSweepCtx(ctx context.Context, regions []*plan.Region, model plan.CellModel, cfg plan.Config, betas []float64) ([]RatioPoint, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("game: no regions")
 	}
 	// Baseline β=0 plan per region.
-	base, err := par.MapErr(cfg.Workers, len(regions), func(i int) (*plan.Plan, error) {
+	base, err := par.MapErrCtx(ctx, cfg.Workers, len(regions), func(i int) (*plan.Plan, error) {
 		c := cfg
 		c.Beta = 0
 		p, err := plan.Solve(regions[i], model, c)
@@ -53,7 +61,7 @@ func BetaSweep(regions []*plan.Region, model plan.CellModel, cfg plan.Config, be
 		return nil, err
 	}
 	// Robust plans for the full β × region grid.
-	plans, err := par.MapErr(cfg.Workers, len(betas)*len(regions), func(j int) (*plan.Plan, error) {
+	plans, err := par.MapErrCtx(ctx, cfg.Workers, len(betas)*len(regions), func(j int) (*plan.Plan, error) {
 		beta, i := betas[j/len(regions)], j%len(regions)
 		c := cfg
 		c.Beta = beta
@@ -100,8 +108,17 @@ type SegmentPoint struct {
 // segment count, recording runtime and exact utility (Fig. 9a/9b), and the
 // ratio study of Fig. 8(d–f) reuses the same plans via the returned efforts.
 func SegmentSweep(region *plan.Region, model plan.CellModel, cfg plan.Config, segments []int) ([]SegmentPoint, error) {
+	return SegmentSweepCtx(context.Background(), region, model, cfg, segments)
+}
+
+// SegmentSweepCtx is SegmentSweep under a context, observed between solves.
+// Solves run sequentially because the study measures per-solve runtime.
+func SegmentSweepCtx(ctx context.Context, region *plan.Region, model plan.CellModel, cfg plan.Config, segments []int) ([]SegmentPoint, error) {
 	var out []SegmentPoint
 	for _, s := range segments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := cfg
 		c.Segments = s
 		c.Beta = 1
@@ -122,11 +139,17 @@ func SegmentSweep(region *plan.Region, model plan.CellModel, cfg plan.Config, se
 // SegmentRatioSweep computes the Fig. 8(d–f) series: the solution-quality
 // ratio at fixed β as the PWL segment count varies.
 func SegmentRatioSweep(regions []*plan.Region, model plan.CellModel, cfg plan.Config, beta float64, segments []int) ([]RatioPoint, error) {
+	return SegmentRatioSweepCtx(context.Background(), regions, model, cfg, beta, segments)
+}
+
+// SegmentRatioSweepCtx is SegmentRatioSweep under a context, observed
+// between solves via BetaSweepCtx.
+func SegmentRatioSweepCtx(ctx context.Context, regions []*plan.Region, model plan.CellModel, cfg plan.Config, beta float64, segments []int) ([]RatioPoint, error) {
 	var out []RatioPoint
 	for _, s := range segments {
 		c := cfg
 		c.Segments = s
-		pts, err := BetaSweep(regions, model, c, []float64{beta})
+		pts, err := BetaSweepCtx(ctx, regions, model, c, []float64{beta})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,74 @@
+package iware
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+
+	"paws/internal/ml"
+)
+
+// configState is Config without the WeakLearner factory, which is a function
+// and cannot be encoded. A decoded model is predict-only, which is all the
+// serving path needs; Workers is preserved so batch prediction keeps its
+// fan-out.
+type configState struct {
+	Thresholds  []float64
+	CVFolds     int
+	WeightIters int
+	Seed        int64
+	Workers     int
+}
+
+// modelState is the exported gob image of a fitted iWare-E ensemble.
+type modelState struct {
+	Cfg         configState
+	Thresholds  []float64
+	Classifiers []ml.Classifier
+	Weights     []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelState{
+		Cfg: configState{
+			Thresholds:  m.cfg.Thresholds,
+			CVFolds:     m.cfg.CVFolds,
+			WeightIters: m.cfg.WeightIters,
+			Seed:        m.cfg.Seed,
+			Workers:     m.cfg.Workers,
+		},
+		Thresholds:  m.thresholds,
+		Classifiers: m.classifiers,
+		Weights:     m.weights,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(b []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Thresholds) == 0 || len(st.Classifiers) != len(st.Thresholds) || len(st.Weights) != len(st.Thresholds) {
+		return errors.New("iware: corrupt encoding: ladder size mismatch")
+	}
+	for _, c := range st.Classifiers {
+		if c == nil {
+			return errors.New("iware: corrupt encoding: nil classifier")
+		}
+	}
+	m.cfg = Config{
+		Thresholds:  st.Cfg.Thresholds,
+		CVFolds:     st.Cfg.CVFolds,
+		WeightIters: st.Cfg.WeightIters,
+		Seed:        st.Cfg.Seed,
+		Workers:     st.Cfg.Workers,
+	}
+	m.thresholds = st.Thresholds
+	m.classifiers = st.Classifiers
+	m.weights = st.Weights
+	return nil
+}

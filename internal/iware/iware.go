@@ -24,6 +24,7 @@
 package iware
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,14 @@ type Model struct {
 // efforts (the efforts are used for filtering and qualification only; they
 // are never model inputs).
 func Fit(X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) {
+	return FitCtx(context.Background(), X, y, efforts, cfg)
+}
+
+// FitCtx is Fit under a context. Cancellation is observed between weak-
+// learner fits (both the CV weight-optimization tasks and the final ladder
+// refit): in-flight fits drain, no new fit starts, and ctx.Err() is
+// returned.
+func FitCtx(ctx context.Context, X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) {
 	if len(cfg.Thresholds) == 0 {
 		return nil, ErrNoThresholds
 	}
@@ -93,7 +102,7 @@ func Fit(X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) 
 
 	// Optimize weights by cross-validation before the final refit.
 	if cfg.CVFolds > 1 {
-		w, err := optimizeWeights(X, y, efforts, thresholds, cfg)
+		w, err := optimizeWeights(ctx, X, y, efforts, thresholds, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +117,7 @@ func Fit(X [][]float64, y []int, efforts []float64, cfg Config) (*Model, error) 
 	// result identical to a sequential run.
 	seeds := par.SeedsFrom(rng.New(cfg.Seed), len(thresholds))
 	m.classifiers = make([]ml.Classifier, len(thresholds))
-	err := par.ForEachErr(cfg.Workers, len(thresholds), func(i int) error {
+	err := par.ForEachErrCtx(ctx, cfg.Workers, len(thresholds), func(i int) error {
 		th := thresholds[i]
 		idx := filterIndices(y, efforts, th)
 		fx, fy := ml.Subset(X, y, idx)
@@ -357,7 +366,7 @@ func uniformWeights(n int) []float64 {
 // optimizeWeights runs the paper's enhancement: k-fold CV predictions from
 // every weak learner, then exponentiated-gradient descent on the simplex
 // minimizing the log loss of the qualified-weighted ensemble output.
-func optimizeWeights(X [][]float64, y []int, efforts []float64, thresholds []float64, cfg Config) ([]float64, error) {
+func optimizeWeights(ctx context.Context, X [][]float64, y []int, efforts []float64, thresholds []float64, cfg Config) ([]float64, error) {
 	n := len(X)
 	I := len(thresholds)
 	r := rng.New(cfg.Seed)
@@ -400,7 +409,7 @@ func optimizeWeights(X [][]float64, y []int, efforts []float64, thresholds []flo
 			tasks = append(tasks, cvTask{fx: fx, fy: fy, valIdx: valIdx, seed: seedRNG.Int63(), i: i})
 		}
 	}
-	err := par.ForEachErr(cfg.Workers, len(tasks), func(t int) error {
+	err := par.ForEachErrCtx(ctx, cfg.Workers, len(tasks), func(t int) error {
 		task := tasks[t]
 		c := cfg.WeakLearner(task.seed)
 		if err := c.Fit(task.fx, task.fy); err != nil {

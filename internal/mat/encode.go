@@ -1,0 +1,55 @@
+package mat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// denseState is the exported gob image of a Dense matrix.
+type denseState struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder. Float64 bit patterns round-trip
+// exactly, so a decoded matrix is numerically identical to the original.
+func (m *Dense) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(denseState{Rows: m.rows, Cols: m.cols, Data: m.data})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Dense) GobDecode(b []byte) error {
+	var st denseState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if st.Rows < 0 || st.Cols < 0 || len(st.Data) != st.Rows*st.Cols {
+		return fmt.Errorf("mat: corrupt Dense encoding: %d×%d with %d values", st.Rows, st.Cols, len(st.Data))
+	}
+	m.rows, m.cols = st.Rows, st.Cols
+	m.data = st.Data
+	if m.data == nil {
+		m.data = []float64{}
+	}
+	return nil
+}
+
+// CholeskyFromFactor rebuilds a Cholesky from a previously computed lower-
+// triangular factor L (as returned by Cholesky.L) — the persistence path for
+// models that store a factorization. The factor is used as-is, so solves on
+// the rebuilt value reproduce the original's floats exactly.
+func CholeskyFromFactor(l *Dense) (*Cholesky, error) {
+	r, c := l.Dims()
+	if r != c {
+		return nil, fmt.Errorf("mat: Cholesky factor must be square, got %d×%d", r, c)
+	}
+	for i := 0; i < r; i++ {
+		if l.At(i, i) == 0 {
+			return nil, fmt.Errorf("mat: Cholesky factor has zero pivot at %d", i)
+		}
+	}
+	return &Cholesky{n: r, l: l}, nil
+}

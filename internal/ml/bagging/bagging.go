@@ -7,6 +7,7 @@
 package bagging
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,6 +67,16 @@ func New(base ml.Factory, cfg Config) *Ensemble {
 
 // Fit trains all members on bootstrap resamples of (X, y).
 func (e *Ensemble) Fit(X [][]float64, y []int) error {
+	return e.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit under a context: member fits already in flight when ctx is
+// canceled run to completion, no new member starts, and ctx.Err() is
+// returned (see par.ForEachErrCtx).
+func (e *Ensemble) FitCtx(ctx context.Context, X [][]float64, y []int) error {
+	if e.base == nil {
+		return ErrNoFactory
+	}
 	if err := ml.CheckXY(X, y); err != nil {
 		return err
 	}
@@ -98,7 +109,7 @@ func (e *Ensemble) Fit(X [][]float64, y []int) error {
 	}
 	members := make([]ml.Classifier, e.cfg.Members)
 	inBag := make([][]int, e.cfg.Members)
-	err := par.ForEachErr(e.cfg.Workers, e.cfg.Members, func(b int) error {
+	err := par.ForEachErrCtx(ctx, e.cfg.Workers, e.cfg.Members, func(b int) error {
 		idx := bags[b]
 		counts := make([]int, len(X))
 		for _, i := range idx {

@@ -1,0 +1,59 @@
+package bagging
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+
+	"paws/internal/ml"
+)
+
+func init() {
+	// Stable name for encoding *Ensemble behind the ml.Classifier interface
+	// (iWare-E ladders store their weak learners this way).
+	gob.RegisterName("paws/internal/ml/bagging.Ensemble", &Ensemble{})
+}
+
+// ensembleState is the exported gob image of a fitted ensemble. Members are
+// interface values; every concrete learner registers itself with gob in its
+// own package init. The base factory is a function and cannot be encoded —
+// a decoded ensemble is predict-only (Fit reports ErrNoFactory).
+type ensembleState struct {
+	Cfg           Config
+	Members       []ml.Classifier
+	InBag         [][]int
+	NTrain        int
+	OddsInflation float64
+}
+
+// ErrNoFactory is returned by Fit on an ensemble decoded from a persisted
+// model: the base-learner factory is a function and does not survive
+// encoding, so such ensembles are predict-only.
+var ErrNoFactory = errors.New("bagging: ensemble has no base factory (decoded from a persisted model); predict-only")
+
+// GobEncode implements gob.GobEncoder.
+func (e *Ensemble) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ensembleState{
+		Cfg: e.cfg, Members: e.members, InBag: e.inBag,
+		NTrain: e.nTrain, OddsInflation: e.oddsInflation,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *Ensemble) GobDecode(b []byte) error {
+	var st ensembleState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	for _, m := range st.Members {
+		if m == nil {
+			return errors.New("bagging: corrupt encoding: nil member")
+		}
+	}
+	e.cfg, e.members, e.inBag = st.Cfg, st.Members, st.InBag
+	e.nTrain, e.oddsInflation = st.NTrain, st.OddsInflation
+	e.base = nil
+	return nil
+}

@@ -1,0 +1,10 @@
+package ml
+
+import "encoding/gob"
+
+func init() {
+	// ConstantClassifier appears behind the Classifier interface inside
+	// persisted ensembles (the degenerate-bag fallback); its fields are
+	// exported, so registration alone makes it gob-encodable.
+	gob.RegisterName("paws/internal/ml.ConstantClassifier", &ConstantClassifier{})
+}

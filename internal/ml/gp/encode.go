@@ -1,0 +1,70 @@
+package gp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+
+	"paws/internal/mat"
+	"paws/internal/ml"
+)
+
+func init() {
+	// Stable name for encoding *GP behind the ml.Classifier interface.
+	gob.RegisterName("paws/internal/ml/gp.GP", &GP{})
+}
+
+// gpState is the exported gob image of a fitted GP. The Laplace state is
+// stored verbatim (posterior mode, gradient, W^{1/2} and the lower Cholesky
+// factor of B), so a decoded model runs the exact same prediction arithmetic
+// as the original — no refactorization, no refit.
+type gpState struct {
+	Cfg           Config
+	Std           *ml.Standardizer
+	X             [][]float64
+	LS            float64
+	Fhat          []float64
+	Grad          []float64
+	WSqrt         []float64
+	L             *mat.Dense // lower Cholesky factor of B
+	OddsInflation float64
+	Fitted        bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *GP) GobEncode() ([]byte, error) {
+	st := gpState{
+		Cfg: g.cfg, Std: g.std, X: g.X, LS: g.ls,
+		Fhat: g.fhat, Grad: g.grad, WSqrt: g.wSqrt,
+		OddsInflation: g.oddsInflation, Fitted: g.fitted,
+	}
+	if g.chB != nil {
+		st.L = g.chB.L()
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *GP) GobDecode(b []byte) error {
+	var st gpState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	g.cfg, g.std, g.X, g.ls = st.Cfg, st.Std, st.X, st.LS
+	g.fhat, g.grad, g.wSqrt = st.Fhat, st.Grad, st.WSqrt
+	g.oddsInflation, g.fitted = st.OddsInflation, st.Fitted
+	g.chB = nil
+	if st.Fitted {
+		if st.L == nil || st.Std == nil || len(st.X) != len(st.Grad) {
+			return errors.New("gp: corrupt encoding: fitted model missing Laplace state")
+		}
+		ch, err := mat.CholeskyFromFactor(st.L)
+		if err != nil {
+			return err
+		}
+		g.chB = ch
+	}
+	return nil
+}

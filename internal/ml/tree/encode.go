@@ -1,0 +1,86 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+)
+
+func init() {
+	// Stable name for encoding *Tree behind the ml.Classifier interface.
+	gob.RegisterName("paws/internal/ml/tree.Tree", &Tree{})
+}
+
+// nodeState mirrors node with exported fields; gob handles the recursion.
+type nodeState struct {
+	Leaf      bool
+	Prob      float64
+	N         int
+	Feature   int
+	Threshold float64
+	Left      *nodeState
+	Right     *nodeState
+}
+
+func toState(n *node) *nodeState {
+	if n == nil {
+		return nil
+	}
+	return &nodeState{
+		Leaf: n.leaf, Prob: n.prob, N: n.n,
+		Feature: n.feature, Threshold: n.threshold,
+		Left: toState(n.left), Right: toState(n.right),
+	}
+}
+
+func fromState(s *nodeState) (*node, error) {
+	if s == nil {
+		return nil, nil
+	}
+	n := &node{
+		leaf: s.Leaf, prob: s.Prob, n: s.N,
+		feature: s.Feature, threshold: s.Threshold,
+	}
+	if n.leaf {
+		return n, nil
+	}
+	var err error
+	if n.left, err = fromState(s.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = fromState(s.Right); err != nil {
+		return nil, err
+	}
+	if n.left == nil || n.right == nil {
+		return nil, errors.New("tree: corrupt encoding: internal node missing a child")
+	}
+	return n, nil
+}
+
+// treeState is the exported gob image of a fitted Tree.
+type treeState struct {
+	Cfg   Config
+	Root  *nodeState
+	NFeat int
+}
+
+// GobEncode implements gob.GobEncoder over the fitted tree structure.
+func (t *Tree) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(treeState{Cfg: t.cfg, Root: toState(t.root), NFeat: t.nFeat})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(b []byte) error {
+	var st treeState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	root, err := fromState(st.Root)
+	if err != nil {
+		return err
+	}
+	t.cfg, t.root, t.nFeat = st.Cfg, root, st.NFeat
+	return nil
+}

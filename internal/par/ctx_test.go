@@ -1,0 +1,173 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCtxRunsAll checks the uncancelled path is equivalent to ForEach.
+func TestForEachCtxRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := ForEachCtx(context.Background(), workers, 100, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d tasks, want 100", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachCtxNilContext checks nil ctx runs uncancelled.
+func TestForEachCtxNilContext(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachCtx(nil, 4, 50, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
+	}
+}
+
+// TestForEachCtxAlreadyCanceled checks a dead context runs zero tasks.
+func TestForEachCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := ForEachCtx(ctx, workers, 10, func(i int) { ran = true })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran {
+			t.Fatalf("workers=%d: task ran under a canceled context", workers)
+		}
+	}
+}
+
+// TestForEachCtxDrainsInFlight cancels mid-sweep and asserts that (a) the
+// call does not return before every started task has finished — the drain
+// guarantee callers rely on to free task-owned memory — and (b) the sweep
+// stops early.
+func TestForEachCtxDrainsInFlight(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int64
+	err := ForEachCtx(ctx, 4, n, func(i int) {
+		started.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		time.Sleep(200 * time.Microsecond)
+		finished.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("returned with %d tasks started but only %d finished (in-flight work not drained)", s, f)
+	}
+	if started.Load() == n {
+		t.Fatalf("all %d tasks ran despite cancellation at task 3", n)
+	}
+}
+
+// TestForEachCtxNoGoroutineLeak cancels many sweeps mid-flight and asserts
+// the worker goroutines all exit.
+func TestForEachCtxNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEachCtx(ctx, 8, 500, func(i int) {
+			if i == 1 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+		})
+		cancel()
+	}
+	// Workers are waited on before ForEachCtx returns, so no settling loop
+	// should be needed; allow a couple of rechecks for unrelated runtime
+	// goroutines to park.
+	for attempt := 0; ; attempt++ {
+		if g := runtime.NumGoroutine(); g <= base {
+			return
+		} else if attempt >= 50 {
+			t.Fatalf("goroutines grew from %d to %d after canceled sweeps (worker leak)", base, g)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestForEachErrCtxContextWins checks the deterministic error precedence:
+// when the context dies, ctx.Err() is reported even if some task failed.
+func TestForEachErrCtxContextWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	taskErr := errors.New("task failure")
+	err := ForEachErrCtx(ctx, 4, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return taskErr
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to shadow task errors", err)
+	}
+}
+
+// TestForEachErrCtxTaskError checks task errors still surface (lowest index)
+// when the context stays live.
+func TestForEachErrCtxTaskError(t *testing.T) {
+	want := errors.New("boom-3")
+	err := ForEachErrCtx(context.Background(), 4, 10, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		if i == 7 {
+			return errors.New("boom-7")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, want)
+	}
+}
+
+// TestMapErrCtxDeadline checks deadline expiry surfaces as DeadlineExceeded.
+func TestMapErrCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := MapErrCtx(ctx, 2, 10000, func(i int) (int, error) {
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestForEachSliceCtxCoversAll checks chunked scheduling covers every index
+// exactly once for awkward chunk/size combinations.
+func TestForEachSliceCtxCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, chunk int }{{0, 4}, {1, 4}, {7, 3}, {12, 3}, {100, 0}, {5, 100}} {
+		seen := make([]int, tc.n)
+		err := ForEachSliceCtx(context.Background(), 3, tc.n, tc.chunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d chunk=%d: %v", tc.n, tc.chunk, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d chunk=%d: index %d covered %d times", tc.n, tc.chunk, i, c)
+			}
+		}
+	}
+}

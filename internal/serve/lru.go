@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small, mutex-guarded, bounded LRU — the risk-map response
+// cache. Park-wide map generation costs seconds of model evaluation while a
+// cached response costs a map lookup, and rangers query the same handful of
+// nominal efforts, so a tiny cache absorbs almost all riskmap traffic.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU builds a cache bounded to max entries (max ≤ 0 disables caching).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes a value, evicting the least recently used entry
+// when the bound is exceeded.
+func (c *lruCache) add(key string, val any) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,358 @@
+// Package serve is the JSON-over-HTTP front-end of the PAWS pipeline: a
+// Server wraps a paws.Service holding pre-loaded (typically persisted)
+// models and exposes
+//
+//	POST /v1/predict   — batched detection-probability scoring, by raw
+//	                     feature vectors or by park cell ids
+//	GET|POST /v1/riskmap — park-wide risk + uncertainty maps at one planned
+//	                     effort, behind a bounded LRU response cache
+//	POST /v1/plan      — a robust patrol plan (effort map + executable
+//	                     routes) for one patrol post
+//	GET /healthz       — liveness plus the registered model names
+//
+// Every request runs under the request context, optionally bounded by
+// Config.RequestTimeout and per-request timeout_ms: deadlines reach
+// mid-sweep into batch prediction and map generation (see internal/par), so
+// an expired request aborts early with 504 instead of burning the worker
+// pool on an answer nobody is waiting for.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"paws"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// RequestTimeout bounds every request's context (0 = unbounded).
+	// Requests may tighten it further with "timeout_ms" but never widen it.
+	RequestTimeout time.Duration
+	// RiskMapCacheSize bounds the riskmap LRU (default 64; negative
+	// disables caching).
+	RiskMapCacheSize int
+}
+
+// Server is the HTTP layer over a paws.Service. It is an http.Handler.
+type Server struct {
+	svc   *paws.Service
+	cfg   Config
+	mux   *http.ServeMux
+	cache *lruCache
+}
+
+// New builds a Server over a Service whose models are already registered
+// (models added to the Service later are picked up automatically — the
+// registry is read per request).
+func New(svc *paws.Service, cfg Config) *Server {
+	if cfg.RiskMapCacheSize == 0 {
+		cfg.RiskMapCacheSize = 64
+	}
+	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux(), cache: newLRU(cfg.RiskMapCacheSize)}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/riskmap", s.handleRiskMap)
+	s.mux.HandleFunc("POST /v1/riskmap", s.handleRiskMap)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// requestCtx applies the server-wide and per-request deadlines.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	if timeoutMS > 0 {
+		tighter, cancel2 := context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		prev := cancel
+		ctx, cancel = tighter, func() { cancel2(); prev() }
+	}
+	return ctx, cancel
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an error to its transport status: unknown model → 404,
+// deadline → 504, client-gone → 499 (nginx convention), anything else the
+// service rejected → 400.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, paws.ErrUnknownModel):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- healthz
+
+type healthResponse struct {
+	Status string   `json:"status"`
+	Models []string `json:"models"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Models: s.svc.ModelNames()})
+}
+
+// ------------------------------------------------------------- /v1/predict
+
+// PredictRequest scores a batch at one planned patrol effort. Exactly one
+// of Features (raw vectors, park features + previous patrol coverage) or
+// Cells (park cell ids, scored on the model's frozen serving features) must
+// be set.
+type PredictRequest struct {
+	Model     string      `json:"model"`
+	Effort    float64     `json:"effort"`
+	Features  [][]float64 `json:"features,omitempty"`
+	Cells     []int       `json:"cells,omitempty"`
+	Variance  bool        `json:"variance,omitempty"`
+	TimeoutMS int         `json:"timeout_ms,omitempty"`
+}
+
+// PredictResponse carries one probability (and optionally one variance) per
+// requested row, in request order.
+type PredictResponse struct {
+	Model     string    `json:"model"`
+	Effort    float64   `json:"effort"`
+	Probs     []float64 `json:"probs"`
+	Variances []float64 `json:"variances,omitempty"`
+}
+
+// maxPredictRows bounds one request's batch so a single client cannot queue
+// unbounded work behind one POST.
+const maxPredictRows = 100_000
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	if (len(req.Features) == 0) == (len(req.Cells) == 0) {
+		writeErr(w, errors.New("exactly one of features or cells must be non-empty"))
+		return
+	}
+	if n := len(req.Features) + len(req.Cells); n > maxPredictRows {
+		writeErr(w, fmt.Errorf("batch of %d rows exceeds the limit of %d", n, maxPredictRows))
+		return
+	}
+	if req.Effort < 0 || math.IsNaN(req.Effort) || math.IsInf(req.Effort, 0) {
+		writeErr(w, fmt.Errorf("effort %v must be a non-negative finite number", req.Effort))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp := PredictResponse{Model: req.Model, Effort: req.Effort}
+	var err error
+	switch {
+	case len(req.Cells) > 0:
+		if req.Variance {
+			writeErr(w, errors.New("variance is only available for feature-vector requests"))
+			return
+		}
+		resp.Probs, err = s.svc.PredictCells(ctx, req.Model, req.Cells, req.Effort)
+	case req.Variance:
+		resp.Probs, resp.Variances, err = s.svc.PredictWithVariance(ctx, req.Model, req.Features, req.Effort)
+	default:
+		resp.Probs, err = s.svc.Predict(ctx, req.Model, req.Features, req.Effort)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ------------------------------------------------------------- /v1/riskmap
+
+// RiskMapRequest asks for the park-wide maps at one planned effort.
+type RiskMapRequest struct {
+	Model     string  `json:"model"`
+	Effort    float64 `json:"effort"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// RiskMapResponse is the full-park raster pair plus the grid geometry
+// needed to render it.
+type RiskMapResponse struct {
+	Model       string    `json:"model"`
+	Effort      float64   `json:"effort"`
+	Width       int       `json:"width"`
+	Height      int       `json:"height"`
+	Cells       int       `json:"cells"`
+	Risk        []float64 `json:"risk"`
+	Uncertainty []float64 `json:"uncertainty"`
+	Cached      bool      `json:"cached"`
+}
+
+func (s *Server) handleRiskMap(w http.ResponseWriter, r *http.Request) {
+	var req RiskMapRequest
+	if r.Method == http.MethodGet {
+		req.Model = r.URL.Query().Get("model")
+		if v := r.URL.Query().Get("effort"); v != "" {
+			e, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeErr(w, fmt.Errorf("invalid effort %q", v))
+				return
+			}
+			req.Effort = e
+		}
+		if v := r.URL.Query().Get("timeout_ms"); v != "" {
+			t, err := strconv.Atoi(v)
+			if err != nil {
+				writeErr(w, fmt.Errorf("invalid timeout_ms %q", v))
+				return
+			}
+			req.TimeoutMS = t
+		}
+	} else if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	if req.Effort <= 0 || math.IsNaN(req.Effort) || math.IsInf(req.Effort, 0) {
+		writeErr(w, fmt.Errorf("effort %v must be a positive finite number", req.Effort))
+		return
+	}
+	sm, ok := s.svc.Served(req.Model)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w %q", paws.ErrUnknownModel, req.Model))
+		return
+	}
+	// The cache key pins the model *instance* via its registration
+	// generation (re-registering a name bumps it, so stale maps are never
+	// served; a heap address could be reused after GC), and the effort's
+	// exact bits (no float formatting collisions).
+	key := fmt.Sprintf("%s|%d|%016x", req.Model, sm.Generation(), math.Float64bits(req.Effort))
+	if v, ok := s.cache.get(key); ok {
+		resp := v.(RiskMapResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	risk, unc, err := s.svc.RiskMaps(ctx, req.Model, req.Effort)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	grid := sm.Park().Grid
+	resp := RiskMapResponse{
+		Model:       req.Model,
+		Effort:      req.Effort,
+		Width:       grid.W,
+		Height:      grid.H,
+		Cells:       len(risk),
+		Risk:        risk,
+		Uncertainty: unc,
+	}
+	s.cache.add(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------- /v1/plan
+
+// PlanRequest asks for a robust patrol plan around one patrol post.
+type PlanRequest struct {
+	Model string  `json:"model"`
+	Post  int     `json:"post"`
+	Beta  float64 `json:"beta"`
+	// Optional region / horizon overrides (0 keeps server defaults).
+	Radius    int     `json:"radius,omitempty"`
+	MaxCells  int     `json:"max_cells,omitempty"`
+	T         int     `json:"t,omitempty"`
+	K         float64 `json:"k,omitempty"`
+	Segments  int     `json:"segments,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// PlanResponse is the deployment artifact: planned effort per region cell
+// and executable routes, all in park cell ids.
+type PlanResponse struct {
+	Model     string    `json:"model"`
+	Post      int       `json:"post"`
+	Beta      float64   `json:"beta"`
+	Cells     []int     `json:"cells"`
+	Effort    []float64 `json:"effort"`
+	Routes    [][]int   `json:"routes"`
+	Objective float64   `json:"objective"`
+	RuntimeMS float64   `json:"runtime_ms"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Model == "" {
+		req.Model = "default"
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	var opts []paws.Option
+	if req.Radius > 0 || req.MaxCells > 0 {
+		opts = append(opts, paws.WithRegionShape(req.Radius, req.MaxCells))
+	}
+	if req.T > 0 || req.K > 0 || req.Segments > 0 {
+		opts = append(opts, paws.WithPlanHorizon(req.T, req.K, req.Segments))
+	}
+	res, err := s.svc.Plan(ctx, req.Model, req.Post, req.Beta, opts...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{
+		Model:     res.Model,
+		Post:      res.Post,
+		Beta:      res.Beta,
+		Cells:     res.Cells,
+		Effort:    res.Effort,
+		Routes:    res.Routes,
+		Objective: res.Objective,
+		RuntimeMS: res.RuntimeMS,
+	})
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paws"
+)
+
+// fixture builds one served GPB-iW model shared by every test (training is
+// the expensive part; the server itself is cheap).
+var (
+	fixtureOnce sync.Once
+	fixtureSvc  *paws.Service
+	fixtureErr  error
+	fixtureN    int // park cells
+)
+
+func testService(t *testing.T) *paws.Service {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		ctx := context.Background()
+		svc := paws.NewService(
+			paws.WithWorkers(2),
+			paws.WithSeed(7),
+			paws.WithThresholds(4),
+			paws.WithEnsembleSize(4),
+			paws.WithGPMaxTrain(50),
+			paws.WithTreeDepth(6),
+		)
+		sc, err := svc.Scenario(ctx, "MFNP", paws.WithScale(paws.ScaleSmall))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+		split, err := sc.Data.SplitByTestYear(year, 3)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		m, err := svc.Train(ctx, split.Train, paws.WithKind(paws.GPBiW))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		testFrom, _ := sc.Data.StepsForYear(year)
+		if _, err := svc.AddModel(ctx, "default", m, sc.Data, testFrom-1); err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureSvc = svc
+		fixtureN = sc.Park.Grid.NumCells()
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureSvc
+}
+
+func testServer(t *testing.T, cfg Config) *Server {
+	return New(testService(t), cfg)
+}
+
+// do runs one request through the handler and decodes the JSON response.
+func do(t *testing.T, s *Server, method, path string, body any, out any) (status int, raw []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == nil {
+		rd = bytes.NewReader(nil)
+	} else {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	raw = rec.Body.Bytes()
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: invalid JSON response %q: %v", method, path, raw, err)
+		}
+	}
+	return rec.Code, raw
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t, Config{})
+	var resp healthResponse
+	status, _ := do(t, s, http.MethodGet, "/healthz", nil, &resp)
+	if status != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("healthz: status %d, body %+v", status, resp)
+	}
+	if len(resp.Models) != 1 || resp.Models[0] != "default" {
+		t.Fatalf("healthz models = %v, want [default]", resp.Models)
+	}
+}
+
+func TestPredictByCellsMatchesRiskMap(t *testing.T) {
+	s := testServer(t, Config{})
+	var rm RiskMapResponse
+	status, _ := do(t, s, http.MethodGet, "/v1/riskmap?model=default&effort=1.5", nil, &rm)
+	if status != http.StatusOK {
+		t.Fatalf("riskmap status %d", status)
+	}
+	if rm.Cells != fixtureN || len(rm.Risk) != fixtureN || len(rm.Uncertainty) != fixtureN {
+		t.Fatalf("riskmap shape: cells=%d risk=%d unc=%d, want %d", rm.Cells, len(rm.Risk), len(rm.Uncertainty), fixtureN)
+	}
+	if rm.Width <= 0 || rm.Height <= 0 {
+		t.Fatalf("riskmap geometry %dx%d", rm.Width, rm.Height)
+	}
+	var pr PredictResponse
+	status, _ = do(t, s, http.MethodPost, "/v1/predict",
+		PredictRequest{Model: "default", Effort: 1.5, Cells: []int{0, 5, 99}}, &pr)
+	if status != http.StatusOK {
+		t.Fatalf("predict status %d", status)
+	}
+	for i, c := range []int{0, 5, 99} {
+		if pr.Probs[i] != rm.Risk[c] {
+			t.Fatalf("cell %d: predict %v != riskmap %v", c, pr.Probs[i], rm.Risk[c])
+		}
+	}
+}
+
+// TestPredictParallelDeterministic floods /v1/predict with concurrent
+// identical requests (run with -race in CI) and requires byte-identical
+// response bodies — the serving determinism contract.
+func TestPredictParallelDeterministic(t *testing.T) {
+	s := testServer(t, Config{})
+	cells := make([]int, 200)
+	for i := range cells {
+		cells[i] = (i * 7) % fixtureN
+	}
+	req := PredictRequest{Model: "default", Effort: 2, Cells: cells}
+	_, want := do(t, s, http.MethodPost, "/v1/predict", req, nil)
+	if !json.Valid(want) {
+		t.Fatalf("baseline response is not valid JSON: %q", want)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := json.Marshal(req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			r := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(b))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				errCh <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.Bytes())
+				return
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				errCh <- fmt.Errorf("concurrent response diverged from baseline")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictByFeaturesWithVariance(t *testing.T) {
+	s := testServer(t, Config{})
+	sm, _ := testService(t).Served("default")
+	dim := sm.FeatureDim()
+	X := [][]float64{make([]float64, dim), make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		X[0][j] = 0.1 * float64(j)
+		X[1][j] = 0.5
+	}
+	var pr PredictResponse
+	status, _ := do(t, s, http.MethodPost, "/v1/predict",
+		PredictRequest{Model: "default", Effort: 1, Features: X, Variance: true}, &pr)
+	if status != http.StatusOK {
+		t.Fatalf("predict status %d", status)
+	}
+	if len(pr.Probs) != 2 || len(pr.Variances) != 2 {
+		t.Fatalf("response shape: %d probs, %d variances", len(pr.Probs), len(pr.Variances))
+	}
+	for _, p := range pr.Probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+	}
+}
+
+func TestRiskMapCacheHit(t *testing.T) {
+	s := testServer(t, Config{RiskMapCacheSize: 8})
+	var first, second RiskMapResponse
+	if status, _ := do(t, s, http.MethodPost, "/v1/riskmap", RiskMapRequest{Model: "default", Effort: 2.25}, &first); status != http.StatusOK {
+		t.Fatalf("first riskmap status %d", status)
+	}
+	if first.Cached {
+		t.Fatal("first response claims to be cached")
+	}
+	if status, _ := do(t, s, http.MethodPost, "/v1/riskmap", RiskMapRequest{Model: "default", Effort: 2.25}, &second); status != http.StatusOK {
+		t.Fatalf("second riskmap status %d", status)
+	}
+	if !second.Cached {
+		t.Fatal("second identical request was not served from the cache")
+	}
+	for i := range first.Risk {
+		if first.Risk[i] != second.Risk[i] {
+			t.Fatal("cached risk map diverged from computed one")
+		}
+	}
+	if got := s.cache.len(); got != 1 {
+		t.Fatalf("cache holds %d entries, want 1", got)
+	}
+}
+
+// TestRequestDeadline checks an unmeetable per-request deadline surfaces as
+// 504 — the ctx reached mid-sweep and aborted the work.
+func TestRequestDeadline(t *testing.T) {
+	s := testServer(t, Config{})
+	// A park-wide GP sweep at a fresh effort cannot finish in 1ms.
+	status, raw := do(t, s, http.MethodPost, "/v1/riskmap",
+		RiskMapRequest{Model: "default", Effort: 97.25, TimeoutMS: 1}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("riskmap with 1ms budget: status %d, body %s", status, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "deadline") {
+		t.Fatalf("error body %q should name the deadline", raw)
+	}
+	// The server-wide timeout applies when the request sets none.
+	s2 := testServer(t, Config{RequestTimeout: time.Millisecond})
+	cells := make([]int, 0, 8*fixtureN)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < fixtureN; c++ {
+			cells = append(cells, c)
+		}
+	}
+	status, raw = do(t, s2, http.MethodPost, "/v1/predict",
+		PredictRequest{Model: "default", Effort: 98.5, Cells: cells}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("predict under 1ms server timeout: status %d, body %s", status, raw)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	var resp PlanResponse
+	status, raw := do(t, s, http.MethodPost, "/v1/plan",
+		PlanRequest{Model: "default", Post: 0, Beta: 0.9, Radius: 2, MaxCells: 12, T: 5, K: 2, Segments: 6}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("plan status %d, body %s", status, raw)
+	}
+	if len(resp.Cells) == 0 || len(resp.Effort) != len(resp.Cells) || len(resp.Routes) == 0 {
+		t.Fatalf("plan shape: %d cells, %d efforts, %d routes", len(resp.Cells), len(resp.Effort), len(resp.Routes))
+	}
+	for _, r := range resp.Routes {
+		if len(r) != 6 || r[0] != resp.Cells[0] || r[5] != resp.Cells[0] {
+			t.Fatalf("malformed route %v", r)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := testServer(t, Config{})
+	for _, tc := range []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"invalid JSON", http.MethodPost, "/v1/predict", "{nope", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/predict", `{"mdoel":"default"}`, http.StatusBadRequest},
+		{"features and cells", http.MethodPost, "/v1/predict", `{"effort":1,"cells":[1],"features":[[1]]}`, http.StatusBadRequest},
+		{"neither features nor cells", http.MethodPost, "/v1/predict", `{"effort":1}`, http.StatusBadRequest},
+		{"negative effort", http.MethodPost, "/v1/predict", `{"effort":-1,"cells":[0]}`, http.StatusBadRequest},
+		{"unknown model", http.MethodPost, "/v1/predict", `{"model":"nope","effort":1,"cells":[0]}`, http.StatusNotFound},
+		{"cell out of range", http.MethodPost, "/v1/predict", `{"effort":1,"cells":[999999]}`, http.StatusBadRequest},
+		{"variance for cells", http.MethodPost, "/v1/predict", `{"effort":1,"cells":[0],"variance":true}`, http.StatusBadRequest},
+		{"zero effort riskmap", http.MethodPost, "/v1/riskmap", `{"model":"default"}`, http.StatusBadRequest},
+		{"riskmap unknown model", http.MethodGet, "/v1/riskmap?model=nope&effort=1", "", http.StatusNotFound},
+		{"plan bad beta", http.MethodPost, "/v1/plan", `{"model":"default","beta":7}`, http.StatusBadRequest},
+		{"plan bad post", http.MethodPost, "/v1/plan", `{"model":"default","post":-2,"beta":0.5}`, http.StatusBadRequest},
+		{"GET predict", http.MethodGet, "/v1/predict", "", http.StatusMethodNotAllowed},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.wantStatus, rec.Body.Bytes())
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.add("c", 3) // evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	// Disabled cache never stores.
+	d := newLRU(0)
+	d.add("x", 1)
+	if _, ok := d.get("x"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}

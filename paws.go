@@ -1,7 +1,40 @@
 // Package paws is a from-scratch Go reproduction of the Protection
 // Assistant for Wildlife Security (PAWS) pipeline described in "Stay Ahead
 // of Poachers: Illegal Wildlife Poaching Prediction and Patrol Planning
-// Under Uncertainty with Field Test Evaluations" (ICDE 2020).
+// Under Uncertainty with Field Test Evaluations" (ICDE 2020) — grown into a
+// servable system.
+//
+// # The Service façade
+//
+// The primary API is the long-lived, context-aware Service: construct one
+// with deployment-wide defaults, then drive every pipeline stage through
+// it. Each method takes a context.Context that is observed mid-computation
+// (between weak-learner fits, batch-prediction chunks and planner solves),
+// so cancellation and deadlines work against real training and serving
+// load:
+//
+//	svc := paws.NewService(paws.WithWorkers(0), paws.WithSeed(7))
+//	sc, _ := svc.Scenario(ctx, "MFNP", paws.WithScale(paws.ScaleSmall))
+//	model, _ := svc.Train(ctx, split.Train, paws.WithKind(paws.GPBiW))
+//
+// Configuration is functional options (WithWorkers, WithKind,
+// WithEnsembleSize, WithThresholds, WithCVFolds, …) shared by training,
+// planning and the experiment runners; per-call options override the
+// Service defaults. The legacy struct-based free functions (Train,
+// NewScenario, NewPlannerModel, RunTable*/RunFig*) remain as thin wrappers
+// and now have *Ctx variants.
+//
+// # Model persistence and serving
+//
+// A trained Model persists with Model.Save/Model.SaveFile in a versioned
+// binary format and reloads with LoadModel/LoadModelFile; a loaded model's
+// predictions are byte-identical to the original's for all six ModelKinds.
+// Service.AddModel registers a model (fresh or loaded) under a name with a
+// frozen serving context; Service.Predict/PredictCells/RiskMaps/Plan then
+// answer queries against it, and internal/serve + cmd/pawsd expose those
+// queries over JSON/HTTP (/v1/predict, /v1/riskmap, /v1/plan).
+//
+// # Pipeline substrates
 //
 // The package ties together the substrates in internal/…:
 //
@@ -15,15 +48,18 @@
 //     patrol planner (plan, game).
 //   - Field tests (field) driven by a trained model's risk map.
 //
+// # Determinism
+//
 // Every entry point takes an explicit seed and is deterministic — including
-// under parallel execution: the Workers fields on TrainOptions,
-// Table2Options, PlanStudyOptions and PlannerModel bound a worker pool
+// under parallel execution and concurrent serving: WithWorkers (and the
+// Workers fields on the legacy option structs) bound a worker pool
 // (internal/par) whose output is byte-identical for any worker count.
 // Workers = 1 forces sequential execution; 0 or negative sizes the pool to
 // runtime.GOMAXPROCS(0), so -cpu / GOMAXPROCS scale the whole pipeline.
 package paws
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,23 +89,44 @@ type Scenario struct {
 // NewScenario generates a preset park ("MFNP", "QENP" or "SWS") with its
 // 6-year history and datasets.
 func NewScenario(name string, seed int64) (*Scenario, error) {
+	return NewScenarioCtx(context.Background(), name, seed)
+}
+
+// NewScenarioCtx is NewScenario under a context, observed between the
+// generation stages (park, history, datasets).
+func NewScenarioCtx(ctx context.Context, name string, seed int64) (*Scenario, error) {
 	parkCfg, ok := geo.PresetByName(name, seed)
 	if !ok {
 		return nil, fmt.Errorf("paws: unknown park preset %q", name)
 	}
 	simCfg, _ := poach.SimByName(name, seed+1)
-	return NewCustomScenario(parkCfg, simCfg)
+	return NewCustomScenarioCtx(ctx, parkCfg, simCfg)
 }
 
 // NewCustomScenario generates a scenario from explicit configurations.
 func NewCustomScenario(parkCfg geo.ParkConfig, simCfg poach.SimConfig) (*Scenario, error) {
+	return NewCustomScenarioCtx(context.Background(), parkCfg, simCfg)
+}
+
+// NewCustomScenarioCtx is NewCustomScenario under a context, observed
+// between the generation stages.
+func NewCustomScenarioCtx(ctx context.Context, parkCfg geo.ParkConfig, simCfg poach.SimConfig) (*Scenario, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	park, err := geo.GeneratePark(parkCfg)
 	if err != nil {
 		return nil, fmt.Errorf("paws: generate park: %w", err)
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	hist, err := poach.Simulate(park, simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("paws: simulate history: %w", err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	data, err := dataset.Build(hist, dataset.StandardConfig())
 	if err != nil {
@@ -84,6 +141,15 @@ func NewCustomScenario(parkCfg geo.ParkConfig, simCfg poach.SimConfig) (*Scenari
 		s.DryData = dry
 	}
 	return s, nil
+}
+
+// ctxErr reports a context's error, tolerating nil contexts (which every
+// Ctx entry point treats as context.Background()).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ModelKind selects one of the six Table II predictive models.
@@ -124,6 +190,17 @@ func (k ModelKind) String() string {
 
 // IsIWare reports whether the kind uses the iWare-E wrapper.
 func (k ModelKind) IsIWare() bool { return k == SVBiW || k == DTBiW || k == GPBiW }
+
+// ParseModelKind converts a Table II model name ("SVB", "DTB", "GPB",
+// "SVB-iW", "DTB-iW", "GPB-iW") to its ModelKind.
+func ParseModelKind(s string) (ModelKind, error) {
+	for _, k := range []ModelKind{SVB, DTB, GPB, SVBiW, DTBiW, GPBiW} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("paws: unknown model kind %q (want SVB, DTB, GPB, SVB-iW, DTB-iW or GPB-iW)", s)
+}
 
 // TrainOptions tunes model training. Zero values select paper-flavoured
 // defaults scaled for interactive use.
@@ -180,9 +257,16 @@ type Model struct {
 	Kind ModelKind
 	opts TrainOptions
 
+	// numFeatures is the feature-vector width the model was trained on
+	// (0 in models from builds predating persistence).
+	numFeatures int
+
 	plain *bagging.Ensemble
 	iw    *iware.Model
 }
+
+// NumFeatures returns the feature-vector width the model was trained on.
+func (m *Model) NumFeatures() int { return m.numFeatures }
 
 // weakLearnerFactory builds the base bagging ensemble for the model family.
 func weakLearnerFactory(kind ModelKind, o TrainOptions, numFeatures int) ml.Factory {
@@ -214,6 +298,14 @@ func weakLearnerFactory(kind ModelKind, o TrainOptions, numFeatures int) ml.Fact
 
 // Train fits the selected model on training points.
 func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
+	return TrainCtx(context.Background(), train, opts)
+}
+
+// TrainCtx is Train under a context: cancellation and deadlines are
+// observed between weak-learner fits (ensemble members, iWare-E ladder
+// slices and CV tasks) — fits already in flight drain, no new fit starts,
+// and the context's error is returned.
+func TrainCtx(ctx context.Context, train []dataset.Point, opts TrainOptions) (*Model, error) {
 	if len(train) == 0 {
 		return nil, errors.New("paws: no training points")
 	}
@@ -226,18 +318,18 @@ func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
 		y[i] = p.Label
 		eff[i] = p.Effort
 	}
-	m := &Model{Kind: o.Kind, opts: o}
+	m := &Model{Kind: o.Kind, opts: o, numFeatures: len(X[0])}
 	factory := weakLearnerFactory(o.Kind, o, len(X[0]))
 	if !o.Kind.IsIWare() {
 		ens := factory(o.Seed).(*bagging.Ensemble)
-		if err := ens.Fit(X, y); err != nil {
-			return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+		if err := ens.FitCtx(ctx, X, y); err != nil {
+			return nil, trainErr(o.Kind, err)
 		}
 		m.plain = ens
 		return m, nil
 	}
 	thresholds := dataset.EffortPercentileThresholds(train, o.Thresholds, o.MaxThresholdPercentile)
-	iw, err := iware.Fit(X, y, eff, iware.Config{
+	iw, err := iware.FitCtx(ctx, X, y, eff, iware.Config{
 		Thresholds:  thresholds,
 		WeakLearner: factory,
 		CVFolds:     o.CVFolds,
@@ -245,16 +337,32 @@ func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
 		Workers:     o.Workers,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+		return nil, trainErr(o.Kind, err)
 	}
 	m.iw = iw
 	return m, nil
+}
+
+// trainErr wraps a training failure, passing context errors through
+// unwrapped so errors.Is(err, context.Canceled/DeadlineExceeded) works at
+// every call depth.
+func trainErr(kind ModelKind, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("paws: train %v: %w", kind, err)
 }
 
 // TrainWithThresholds trains an iWare-E model with an explicit threshold
 // ladder instead of the percentile-derived one — used by the threshold
 // ablation (the original iWare-E used fixed-kilometre grids).
 func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts TrainOptions) (*Model, error) {
+	return TrainWithThresholdsCtx(context.Background(), train, thresholds, opts)
+}
+
+// TrainWithThresholdsCtx is TrainWithThresholds under a context, with
+// TrainCtx's cancellation semantics.
+func TrainWithThresholdsCtx(ctx context.Context, train []dataset.Point, thresholds []float64, opts TrainOptions) (*Model, error) {
 	if len(train) == 0 {
 		return nil, errors.New("paws: no training points")
 	}
@@ -270,7 +378,7 @@ func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts Train
 		y[i] = p.Label
 		eff[i] = p.Effort
 	}
-	iw, err := iware.Fit(X, y, eff, iware.Config{
+	iw, err := iware.FitCtx(ctx, X, y, eff, iware.Config{
 		Thresholds:  thresholds,
 		WeakLearner: weakLearnerFactory(o.Kind, o, len(X[0])),
 		CVFolds:     o.CVFolds,
@@ -278,9 +386,9 @@ func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts Train
 		Workers:     o.Workers,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("paws: train %v: %w", o.Kind, err)
+		return nil, trainErr(o.Kind, err)
 	}
-	return &Model{Kind: o.Kind, opts: o, iw: iw}, nil
+	return &Model{Kind: o.Kind, opts: o, numFeatures: len(X[0]), iw: iw}, nil
 }
 
 // PredictForEffort returns the detection probability for a feature vector at

@@ -1,0 +1,161 @@
+package paws
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"paws/internal/ml/bagging"
+)
+
+// TestModelPersistenceRoundTrip is the golden persistence contract: for all
+// six ModelKinds, save → load must reproduce the exact prediction floats of
+// the original model — batch, pointwise, and with-variance paths.
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	sc := smallScenario(t, 31, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([][]float64, len(split.Test))
+	for i, p := range split.Test {
+		X[i] = p.Features
+	}
+	efforts := []float64{0, 0.7, 1.5, 3.2}
+	for _, kind := range []ModelKind{SVB, DTB, GPB, SVBiW, DTBiW, GPBiW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			opts := quickTrainOpts(kind, 41)
+			if kind.IsIWare() {
+				opts.CVFolds = 2 // non-uniform weights must survive the trip
+			}
+			m, err := Train(split.Train, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Kind != kind {
+				t.Fatalf("loaded kind %v, want %v", loaded.Kind, kind)
+			}
+			for _, e := range efforts {
+				assertSameFloats(t, "PredictForEffortBatch",
+					m.PredictForEffortBatch(X, e), loaded.PredictForEffortBatch(X, e))
+				p0, v0 := m.PredictWithVarianceBatch(X, e)
+				p1, v1 := loaded.PredictWithVarianceBatch(X, e)
+				assertSameFloats(t, "PredictWithVarianceBatch p", p0, p1)
+				assertSameFloats(t, "PredictWithVarianceBatch v", v0, v1)
+			}
+			assertSameFloats(t, "PredictPoints",
+				m.PredictPoints(split.Test), loaded.PredictPoints(split.Test))
+			for i := 0; i < len(X) && i < 5; i++ {
+				if a, b := m.PredictForEffort(X[i], 1.2), loaded.PredictForEffort(X[i], 1.2); a != b {
+					t.Fatalf("pointwise PredictForEffort diverged: %v != %v", a, b)
+				}
+			}
+
+			// Encoding is deterministic: saving the same model twice yields
+			// identical bytes (no map state anywhere in the model).
+			var buf2 bytes.Buffer
+			if err := m.Save(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("two saves of the same model produced different bytes")
+			}
+		})
+	}
+}
+
+// TestModelPersistenceFile exercises the SaveFile/LoadModelFile convenience
+// path and the PlannerModel construction on a loaded model.
+func TestModelPersistenceFile(t *testing.T) {
+	sc := smallScenario(t, 33, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(split.Train, quickTrainOpts(GPBiW, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.paws")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(year)
+	pm0, err := NewPlannerModel(m, sc.Data, testFrom-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm1, err := NewPlannerModel(loaded, sc.Data, testFrom-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFloats(t, "RiskMap", pm0.RiskMap(1.5), pm1.RiskMap(1.5))
+	assertSameFloats(t, "UncertaintyMap", pm0.UncertaintyMap(1.5), pm1.UncertaintyMap(1.5))
+}
+
+// TestLoadModelRejectsGarbage checks header validation fails loudly.
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("not a model file at all"))); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("garbage magic: err = %v, want ErrBadModelFile", err)
+	}
+	if _, err := LoadModel(bytes.NewReader(nil)); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("empty input: err = %v, want ErrBadModelFile", err)
+	}
+	// Valid magic, future version.
+	future := append([]byte(persistMagic), 0, 0, 0, 99)
+	if _, err := LoadModel(bytes.NewReader(future)); err == nil || errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("future version: err = %v, want a version error distinct from ErrBadModelFile", err)
+	}
+	// Valid header, truncated payload.
+	trunc := append([]byte(persistMagic), 0, 0, 0, 1)
+	if _, err := LoadModel(bytes.NewReader(trunc)); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("truncated payload: err = %v, want ErrBadModelFile", err)
+	}
+}
+
+// TestLoadedModelIsPredictOnly checks a decoded ensemble refuses to refit
+// (its base-learner factory did not survive encoding).
+func TestLoadedModelIsPredictOnly(t *testing.T) {
+	sc := smallScenario(t, 35, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(split.Train, quickTrainOpts(DTB, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var X [][]float64
+	var y []int
+	for _, p := range split.Train[:10] {
+		X = append(X, p.Features)
+		y = append(y, p.Label)
+	}
+	if err := loaded.Ensemble().Fit(X, y); !errors.Is(err, bagging.ErrNoFactory) {
+		t.Fatalf("refit of loaded ensemble: err = %v, want bagging.ErrNoFactory", err)
+	}
+}

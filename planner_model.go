@@ -1,6 +1,7 @@
 package paws
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -90,6 +91,13 @@ func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel,
 // for the calibration pass and subsequent map generation (par.Workers
 // semantics: 1 is sequential, ≤ 0 means GOMAXPROCS).
 func NewPlannerModelWorkers(m *Model, d *dataset.Dataset, prevStep, workers int) (*PlannerModel, error) {
+	return NewPlannerModelCtx(context.Background(), m, d, prevStep, workers)
+}
+
+// NewPlannerModelCtx is NewPlannerModelWorkers under a context: the
+// calibration sweep observes cancellation between batch chunks, so a dead
+// context aborts construction instead of evaluating the whole sample.
+func NewPlannerModelCtx(ctx context.Context, m *Model, d *dataset.Dataset, prevStep, workers int) (*PlannerModel, error) {
 	if m == nil || d == nil {
 		return nil, errors.New("paws: nil model or dataset")
 	}
@@ -109,17 +117,20 @@ func NewPlannerModelWorkers(m *Model, d *dataset.Dataset, prevStep, workers int)
 	// Calibrate the squashing on the park-wide variance distribution at a
 	// moderate effort level: the 10th percentile maps to ~0 and the 90th to
 	// ~0.96, so uncertainty scores use the full [0,1] range (Section VI-C).
-	// The sample is evaluated in one parallel batch call.
+	// The sample is evaluated in parallel batch chunks.
 	stride := n/200 + 1
 	var sample [][]float64
 	for cell := 0; cell < n; cell += stride {
 		sample = append(sample, pm.features[cell])
 	}
 	vs := make([]float64, len(sample))
-	par.ForEachChunk(pm.Workers, len(sample), func(lo, hi int) {
+	err := par.ForEachSliceCtx(ctx, pm.Workers, len(sample), mapChunkSize, func(lo, hi int) {
 		_, chunk := m.PredictWithVarianceBatch(sample[lo:hi], 2)
 		copy(vs[lo:hi], chunk)
 	})
+	if err != nil {
+		return nil, err
+	}
 	lo := stats.Percentile(vs, 10)
 	hi := stats.Percentile(vs, 90)
 	pm.squashLo = lo
@@ -156,10 +167,20 @@ func (pm *PlannerModel) lookup(cell int, effort float64) [2]float64 {
 // SquashScale returns the calibrated variance normalization constant.
 func (pm *PlannerModel) SquashScale() float64 { return pm.squashScale }
 
+// mapChunkSize is the batch-chunk granularity of the map sweeps: small
+// enough that a canceled context stops a park-wide sweep promptly, large
+// enough that the GP's batched back-substitution still amortizes its pass
+// over the Cholesky factor. Chunk boundaries never change the floats (every
+// batch path is row-independent), so this is purely a latency/cancellation
+// knob.
+const mapChunkSize = 128
+
 // evalAll evaluates every park cell at one effort, reusing memoized entries
 // and batch-evaluating the missing cells in parallel chunks. Newly computed
-// cells are memoized for the planner's subsequent pointwise lookups.
-func (pm *PlannerModel) evalAll(effort float64) [][2]float64 {
+// cells are memoized for the planner's subsequent pointwise lookups. The
+// context is observed between chunks; on cancellation the partially
+// evaluated map is discarded (memoized entries are kept — they are exact).
+func (pm *PlannerModel) evalAll(ctx context.Context, effort float64) ([][2]float64, error) {
 	n := len(pm.features)
 	out := make([][2]float64, n)
 	var missing []int
@@ -170,7 +191,7 @@ func (pm *PlannerModel) evalAll(effort float64) [][2]float64 {
 			missing = append(missing, cell)
 		}
 	}
-	par.ForEachChunk(pm.Workers, len(missing), func(lo, hi int) {
+	err := par.ForEachSliceCtx(ctx, pm.Workers, len(missing), mapChunkSize, func(lo, hi int) {
 		rows := make([][]float64, hi-lo)
 		for k, cell := range missing[lo:hi] {
 			rows[k] = pm.features[cell]
@@ -182,29 +203,71 @@ func (pm *PlannerModel) evalAll(effort float64) [][2]float64 {
 			pm.memo[cell].put(effort, v)
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RiskMap evaluates the model over every park cell at a nominal effort,
 // returning the per-cell detection probabilities (Fig. 6 red maps).
 func (pm *PlannerModel) RiskMap(effort float64) []float64 {
-	vals := pm.evalAll(effort)
+	out, _ := pm.RiskMapCtx(context.Background(), effort)
+	return out
+}
+
+// RiskMapCtx is RiskMap under a context, observed between batch chunks: a
+// canceled or expired context aborts the park sweep early with the
+// context's error.
+func (pm *PlannerModel) RiskMapCtx(ctx context.Context, effort float64) ([]float64, error) {
+	vals, err := pm.evalAll(ctx, effort)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(vals))
 	for cell, v := range vals {
 		out[cell] = v[0]
 	}
-	return out
+	return out, nil
 }
 
 // UncertaintyMap evaluates the squashed uncertainty over every park cell at
 // a nominal effort (Fig. 6 green maps).
 func (pm *PlannerModel) UncertaintyMap(effort float64) []float64 {
-	vals := pm.evalAll(effort)
+	out, _ := pm.UncertaintyMapCtx(context.Background(), effort)
+	return out
+}
+
+// UncertaintyMapCtx is UncertaintyMap under a context, with RiskMapCtx's
+// cancellation semantics.
+func (pm *PlannerModel) UncertaintyMapCtx(ctx context.Context, effort float64) ([]float64, error) {
+	vals, err := pm.evalAll(ctx, effort)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(vals))
 	for cell, v := range vals {
 		out[cell] = v[1]
 	}
-	return out
+	return out, nil
+}
+
+// MapsCtx evaluates risk and uncertainty together in one park sweep — the
+// serving fast path: both maps come from the same per-cell evaluation, so
+// computing them jointly halves the model work of calling RiskMapCtx then
+// UncertaintyMapCtx on a cold memo.
+func (pm *PlannerModel) MapsCtx(ctx context.Context, effort float64) (risk, uncertainty []float64, err error) {
+	vals, err := pm.evalAll(ctx, effort)
+	if err != nil {
+		return nil, nil, err
+	}
+	risk = make([]float64, len(vals))
+	uncertainty = make([]float64, len(vals))
+	for cell, v := range vals {
+		risk[cell] = v[0]
+		uncertainty[cell] = v[1]
+	}
+	return risk, uncertainty, nil
 }
 
 // RawVarianceMap returns the unsquashed predictive variance per cell at a

@@ -1,0 +1,255 @@
+package paws
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serviceFixture trains a quick model and registers it on a fresh Service.
+func serviceFixture(t testing.TB, kind ModelKind) (*Service, *Scenario) {
+	t.Helper()
+	sc := smallScenario(t, 51, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(WithWorkers(2))
+	m, err := svc.Train(context.Background(), split.Train,
+		WithKind(kind), WithThresholds(4), WithEnsembleSize(4), WithGPMaxTrain(60), WithTreeDepth(6), WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(year)
+	if _, err := svc.AddModel(context.Background(), "default", m, sc.Data, testFrom-1); err != nil {
+		t.Fatal(err)
+	}
+	return svc, sc
+}
+
+// TestServiceTrainMatchesLegacyTrain checks the functional-options path
+// lowers to exactly the legacy TrainOptions path: identical predictions.
+func TestServiceTrainMatchesLegacyTrain(t *testing.T) {
+	sc := smallScenario(t, 53, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(WithSeed(17), WithThresholds(4), WithEnsembleSize(4), WithGPMaxTrain(60), WithTreeDepth(6))
+	for _, kind := range []ModelKind{DTB, GPBiW} {
+		newAPI, err := svc.Train(context.Background(), split.Train, WithKind(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Train(split.Train, quickTrainOpts(kind, 17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameFloats(t, kind.String(),
+			newAPI.PredictPoints(split.Test), legacy.PredictPoints(split.Test))
+	}
+}
+
+// TestTrainCtxCanceled checks an already-dead context aborts training
+// before any work and surfaces the context error unwrapped.
+func TestTrainCtxCanceled(t *testing.T) {
+	sc := smallScenario(t, 55, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainCtx(ctx, split.Train, quickTrainOpts(GPBiW, 17)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTrainCtxDeadlineMidTraining checks a deadline expiring during the
+// ensemble fit aborts mid-sweep with context.DeadlineExceeded.
+func TestTrainCtxDeadlineMidTraining(t *testing.T) {
+	sc := smallScenario(t, 57, false)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPB-iW with a CV pass takes seconds; 5ms cannot finish it.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	opts := quickTrainOpts(GPBiW, 17)
+	opts.CVFolds = 3
+	start := time.Now()
+	_, err = TrainCtx(ctx, split.Train, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TrainCtx past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("training ran %v after a 5ms deadline (cancellation not observed mid-sweep)", elapsed)
+	}
+}
+
+// TestRiskMapCtxDeadlineAbortsSweepEarly is the serving-path acceptance
+// test: a park-wide risk-map sweep under an expired deadline must abort
+// early with context.DeadlineExceeded instead of evaluating every cell.
+func TestRiskMapCtxDeadlineAbortsSweepEarly(t *testing.T) {
+	svc, _ := serviceFixture(t, GPBiW)
+	sm, _ := svc.Served("default")
+
+	// Expired before the sweep starts: nothing may be evaluated.
+	dead, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, _, err := svc.RiskMaps(dead, "default", 1.5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RiskMaps past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Expiring mid-sweep: the partial memo must be strictly smaller than the
+	// park — the sweep stopped early — and the error must still surface.
+	short, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	if _, _, err := svc.RiskMaps(short, "default", 2.5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RiskMaps with 2ms budget: err = %v, want context.DeadlineExceeded", err)
+	}
+	evaluated := 0
+	for cell := range sm.pm.memo {
+		if _, ok := sm.pm.memo[cell].get(2.5); ok {
+			evaluated++
+		}
+	}
+	if n := len(sm.pm.memo); evaluated >= n {
+		t.Fatalf("all %d cells evaluated despite the 2ms deadline (sweep did not abort early)", n)
+	}
+
+	// A live context still produces the full maps afterwards.
+	risk, unc, err := svc.RiskMaps(context.Background(), "default", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(risk) != len(sm.pm.memo) || len(unc) != len(risk) {
+		t.Fatalf("map sizes %d/%d, want %d", len(risk), len(unc), len(sm.pm.memo))
+	}
+}
+
+// TestServicePredictConcurrentDeterministic floods one served model with
+// parallel Predict calls (run under -race in CI) and checks every response
+// is byte-identical to the sequential answer.
+func TestServicePredictConcurrentDeterministic(t *testing.T) {
+	svc, sc := serviceFixture(t, GPBiW)
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([][]float64, 0, 120)
+	for _, p := range split.Test {
+		X = append(X, append([]float64(nil), p.Features...))
+		if len(X) == 120 {
+			break
+		}
+	}
+	efforts := []float64{0.5, 1.5, 3}
+	want := map[float64][]float64{}
+	for _, e := range efforts {
+		w, err := svc.Predict(context.Background(), "default", X, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[e] = w
+	}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e := efforts[g%len(efforts)]
+			got, err := svc.Predict(context.Background(), "default", X, e)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := range got {
+				if got[i] != want[e][i] {
+					errCh <- errors.New("concurrent Predict diverged from sequential answer")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestServicePredictValidation checks unknown models and malformed rows are
+// rejected before any model work.
+func TestServicePredictValidation(t *testing.T) {
+	svc, _ := serviceFixture(t, DTB)
+	if _, err := svc.Predict(context.Background(), "nope", nil, 1); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: err = %v, want ErrUnknownModel", err)
+	}
+	if _, err := svc.Predict(context.Background(), "default", [][]float64{{1, 2}}, 1); err == nil {
+		t.Fatal("short feature row accepted")
+	}
+	if _, err := svc.PredictCells(context.Background(), "default", []int{-1}, 1); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+}
+
+// TestServicePredictCellsMatchesRiskMap checks the by-cell serving path is
+// consistent with the park-wide sweep.
+func TestServicePredictCellsMatchesRiskMap(t *testing.T) {
+	svc, _ := serviceFixture(t, DTBiW)
+	risk, _, err := svc.RiskMaps(context.Background(), "default", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []int{0, 7, 42, len(risk) - 1}
+	got, err := svc.PredictCells(context.Background(), "default", cells, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		if got[i] != risk[c] {
+			t.Fatalf("cell %d: PredictCells %v != RiskMap %v", c, got[i], risk[c])
+		}
+	}
+}
+
+// TestServicePlan checks the planning endpoint returns a feasible artifact.
+func TestServicePlan(t *testing.T) {
+	svc, _ := serviceFixture(t, GPBiW)
+	res, err := svc.Plan(context.Background(), "default", 0, 0.9,
+		WithRegionShape(2, 14), WithPlanHorizon(5, 2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 || len(res.Effort) != len(res.Cells) {
+		t.Fatalf("plan shape: %d cells, %d efforts", len(res.Cells), len(res.Effort))
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("plan returned no routes")
+	}
+	for _, r := range res.Routes {
+		if len(r) != 5+1 {
+			t.Fatalf("route length %d, want T+1 = 6", len(r))
+		}
+		if r[0] != res.Cells[0] || r[len(r)-1] != res.Cells[0] {
+			t.Fatal("route does not start and end at the post")
+		}
+	}
+	if _, err := svc.Plan(context.Background(), "default", 99, 0.9); err == nil {
+		t.Fatal("out-of-range post accepted")
+	}
+	if _, err := svc.Plan(context.Background(), "default", 0, 2); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+}
