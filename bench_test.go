@@ -473,6 +473,29 @@ func BenchmarkTable2Sweep(b *testing.B) {
 	b.ReportMetric(auc, "AUC-last")
 }
 
+// BenchmarkSimSeason measures one closed-loop simulation season of the paws
+// policy — bootstrap the history, rebuild the dataset, retrain DTB-iW, plan
+// the risk-targeted allocation plus Frank-Wolfe routes, and execute three
+// months against the adaptive attacker. This is the unit of work
+// Service.Simulate scales by (seasons × policies × parks). Results are
+// recorded in BENCH_sim.json.
+func BenchmarkSimSeason(b *testing.B) {
+	svc := NewService(WithWorkers(0), WithSeed(7), WithScale(ScaleSmall))
+	var detections int
+	for i := 0; i < b.N; i++ {
+		rep, err := svc.Simulate(context.Background(), SimConfig{
+			Park:     "MFNP",
+			Seasons:  1,
+			Policies: []string{"paws"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		detections = rep.Policies[0].Detections
+	}
+	b.ReportMetric(float64(detections), "detections")
+}
+
 // BenchmarkServePredict measures the /v1/predict serving path: the batched
 // Service.Predict (chunked through the model's batch fast path, as the HTTP
 // endpoint runs it) against the naive one-point-at-a-time loop a client

@@ -3,6 +3,7 @@
 //
 //	pawsgen -park SWS -out ./out          # points.csv, effort.csv, maps
 //	pawsgen -park MFNP -raster effort     # ASCII patrol-effort map (Fig 3)
+//	pawsgen -park rand:42                 # procedurally generated park
 package main
 
 import (
@@ -15,11 +16,12 @@ import (
 	"syscall"
 
 	"paws"
+	"paws/internal/geo"
 )
 
 func main() {
-	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
-	scaleStr := flag.String("scale", "small", "park scale: full or small")
+	park := flag.String("park", "MFNP", "park spec: "+geo.SpecHelp)
+	scaleStr := flag.String("scale", "small", "preset park scale: full or small (rand:<seed> parks ignore it)")
 	seed := flag.Int64("seed", 7, "root random seed")
 	out := flag.String("out", "", "output directory for CSV export (empty = stdout summary only)")
 	raster := flag.String("raster", "", "print an ASCII raster: effort, activity or elevation")

@@ -31,7 +31,9 @@ type Table1Row = dataset.Stats
 // goroutines (par.Workers semantics); rows come back in the fixed park
 // order regardless of which finishes first.
 func RunTable1(seed int64, workers int) ([]Table1Row, error) {
-	return RunTable1Ctx(context.Background(), seed, workers)
+	return sansCtx(func(ctx context.Context) ([]Table1Row, error) {
+		return RunTable1Ctx(ctx, seed, workers)
+	})
 }
 
 // RunTable1Ctx is RunTable1 under a context, observed between (and inside)
@@ -123,7 +125,9 @@ func lastYears(d *dataset.Dataset, n int) []int {
 
 // RunTable2ForScenario evaluates the selected models on one scenario.
 func RunTable2ForScenario(sc *Scenario, name string, opts Table2Options) ([]Table2Row, error) {
-	return RunTable2ForScenarioCtx(context.Background(), sc, name, opts)
+	return sansCtx(func(ctx context.Context) ([]Table2Row, error) {
+		return RunTable2ForScenarioCtx(ctx, sc, name, opts)
+	})
 }
 
 // RunTable2ForScenarioCtx is RunTable2ForScenario under a context: the
@@ -223,7 +227,9 @@ type Fig4Series struct {
 
 // RunFig4 computes the Fig. 4 curves from a scenario's train/test split.
 func RunFig4(sc *Scenario, name string, testYear, trainYears int, dry bool) (Fig4Series, error) {
-	return RunFig4Ctx(context.Background(), sc, name, testYear, trainYears, dry)
+	return sansCtx(func(ctx context.Context) (Fig4Series, error) {
+		return RunFig4Ctx(ctx, sc, name, testYear, trainYears, dry)
+	})
 }
 
 // RunFig4Ctx is RunFig4 under a context (checked once; the computation is a
@@ -270,7 +276,9 @@ type Fig6Maps struct {
 // RunFig6 trains the given model kind on the scenario's train years and
 // evaluates risk/uncertainty maps at the paper's effort levels.
 func RunFig6(sc *Scenario, kind ModelKind, testYear, trainYears int, opts TrainOptions) (*Fig6Maps, error) {
-	return RunFig6Ctx(context.Background(), sc, kind, testYear, trainYears, opts)
+	return sansCtx(func(ctx context.Context) (*Fig6Maps, error) {
+		return RunFig6Ctx(ctx, sc, kind, testYear, trainYears, opts)
+	})
 }
 
 // RunFig6Ctx is RunFig6 under a context, observed through training and
@@ -334,7 +342,9 @@ type Fig7Result struct {
 // years and correlates predictions with uncertainty on the test points
 // (paper: r ≈ −0.198 for GPs vs 0.979 for bagged trees).
 func RunFig7(sc *Scenario, testYear, trainYears int, opts TrainOptions) (*Fig7Result, error) {
-	return RunFig7Ctx(context.Background(), sc, testYear, trainYears, opts)
+	return sansCtx(func(ctx context.Context) (*Fig7Result, error) {
+		return RunFig7Ctx(ctx, sc, testYear, trainYears, opts)
+	})
 }
 
 // RunFig7Ctx is RunFig7 under a context, observed through both probe-model
@@ -445,7 +455,9 @@ type PlanStudy struct {
 // NewPlanStudy trains the planning model (GPB-iW by default) and builds the
 // per-post regions.
 func NewPlanStudy(sc *Scenario, opts PlanStudyOptions) (*PlanStudy, error) {
-	return NewPlanStudyCtx(context.Background(), sc, opts)
+	return sansCtx(func(ctx context.Context) (*PlanStudy, error) {
+		return NewPlanStudyCtx(ctx, sc, opts)
+	})
 }
 
 // NewPlanStudyCtx is NewPlanStudy under a context, observed through model
@@ -497,7 +509,7 @@ func NewPlanStudyCtx(ctx context.Context, sc *Scenario, opts PlanStudyOptions) (
 
 // RunFig8Beta computes the Fig. 8(a–c) ratio-vs-β series.
 func (ps *PlanStudy) RunFig8Beta() ([]game.RatioPoint, error) {
-	return ps.RunFig8BetaCtx(context.Background())
+	return sansCtx(ps.RunFig8BetaCtx)
 }
 
 // RunFig8BetaCtx is RunFig8Beta under a context, observed between solves.
@@ -507,7 +519,7 @@ func (ps *PlanStudy) RunFig8BetaCtx(ctx context.Context) ([]game.RatioPoint, err
 
 // RunFig8Segments computes the Fig. 8(d–f) ratio-vs-segments series at β=1.
 func (ps *PlanStudy) RunFig8Segments() ([]game.RatioPoint, error) {
-	return ps.RunFig8SegmentsCtx(context.Background())
+	return sansCtx(ps.RunFig8SegmentsCtx)
 }
 
 // RunFig8SegmentsCtx is RunFig8Segments under a context, observed between
@@ -522,7 +534,7 @@ func (ps *PlanStudy) RunFig8SegmentsCtx(ctx context.Context) ([]game.RatioPoint,
 // solver: runtime grows with the PWL segment count while the utility
 // converges.
 func (ps *PlanStudy) RunFig9() ([]game.SegmentPoint, error) {
-	return ps.RunFig9Ctx(context.Background())
+	return sansCtx(ps.RunFig9Ctx)
 }
 
 // RunFig9Ctx is RunFig9 under a context, observed between solves.
@@ -541,7 +553,9 @@ func (ps *PlanStudy) RunFig9Ctx(ctx context.Context) ([]game.SegmentPoint, error
 // scenario's ground truth and reports the detection factor — the analogue
 // of the paper's "30% more snares detected" claim.
 func (ps *PlanStudy) RunDetectionGain(months int, seed int64) (game.DetectionResult, error) {
-	return ps.RunDetectionGainCtx(context.Background(), months, seed)
+	return sansCtx(func(ctx context.Context) (game.DetectionResult, error) {
+		return ps.RunDetectionGainCtx(ctx, months, seed)
+	})
 }
 
 // RunDetectionGainCtx is RunDetectionGain under a context, observed between
@@ -609,7 +623,9 @@ type Table3Options struct {
 // RunTable3ForScenario runs two trials on one scenario (matching the two
 // MFNP trials and two SWS trials of Table III).
 func RunTable3ForScenario(sc *Scenario, name string, blockSize int, trialMonths []int, opts Table3Options) ([]Table3Trial, error) {
-	return RunTable3ForScenarioCtx(context.Background(), sc, name, blockSize, trialMonths, opts)
+	return sansCtx(func(ctx context.Context) ([]Table3Trial, error) {
+		return RunTable3ForScenarioCtx(ctx, sc, name, blockSize, trialMonths, opts)
+	})
 }
 
 // RunTable3ForScenarioCtx is RunTable3ForScenario under a context, observed

@@ -66,8 +66,36 @@ type Point struct {
 	Label    int
 }
 
-// Build processes a simulated history into a dataset.
+// Build processes a simulated history into a dataset, rebuilding per-cell
+// patrol effort from the raw GPS waypoint stream (the paper's Section III-B
+// pipeline — the rebuilt effort is an approximation of the true path when
+// waypoints are sparse).
 func Build(h *poach.History, cfg Config) (*Dataset, error) {
+	// Group waypoints by month once.
+	byMonth := make(map[int][]poach.Waypoint)
+	for _, w := range h.Waypoints {
+		byMonth[w.Month] = append(byMonth[w.Month], w)
+	}
+	return build(h, cfg, func(m int, dst []float64) {
+		RebuildEffortInto(h.Park, byMonth[m], dst)
+	})
+}
+
+// BuildFromEffort processes a history using its per-month effort maps
+// directly, skipping waypoint reconstruction. The closed-loop simulator
+// (internal/sim) executes patrols as effort maps rather than GPS streams, so
+// its policies train on datasets built this way.
+func BuildFromEffort(h *poach.History, cfg Config) (*Dataset, error) {
+	return build(h, cfg, func(m int, dst []float64) {
+		for id, e := range h.Effort[m] {
+			dst[id] += e
+		}
+	})
+}
+
+// build assembles steps, accumulating each month's effort into the step
+// raster via addEffort and labels from the poaching observations.
+func build(h *poach.History, cfg Config, addEffort func(month int, dst []float64)) (*Dataset, error) {
 	if cfg.MonthsPerStep <= 0 {
 		return nil, fmt.Errorf("dataset: MonthsPerStep must be positive, got %d", cfg.MonthsPerStep)
 	}
@@ -76,11 +104,6 @@ func Build(h *poach.History, cfg Config) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: no steps produced for %d months", h.Months)
 	}
 	d := &Dataset{Park: h.Park, Cfg: cfg, Steps: steps}
-	// Group waypoints by month once.
-	byMonth := make(map[int][]poach.Waypoint)
-	for _, w := range h.Waypoints {
-		byMonth[w.Month] = append(byMonth[w.Month], w)
-	}
 	obsByMonth := make(map[int][]poach.Observation)
 	for _, o := range h.Observations {
 		if o.Poaching {
@@ -92,7 +115,7 @@ func Build(h *poach.History, cfg Config) (*Dataset, error) {
 		eff := make([]float64, n)
 		lab := make([]bool, n)
 		for _, m := range st.Months {
-			RebuildEffortInto(h.Park, byMonth[m], eff)
+			addEffort(m, eff)
 			for _, o := range obsByMonth[m] {
 				lab[o.CellID] = true
 			}

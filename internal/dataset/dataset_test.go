@@ -377,3 +377,49 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestBuildFromEffort(t *testing.T) {
+	park := testPark(t)
+	h := testHistory(t, park, 12)
+	d, err := BuildFromEffort(h, StandardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(d.Steps))
+	}
+	// Step effort must be the exact sum of the history's true monthly effort
+	// (no waypoint-reconstruction error), labels the union of detections.
+	n := park.Grid.NumCells()
+	for ti, st := range d.Steps {
+		for cell := 0; cell < n; cell++ {
+			var want float64
+			for _, m := range st.Months {
+				want += h.Effort[m][cell]
+			}
+			if math.Abs(d.Effort[ti][cell]-want) > 1e-12 {
+				t.Fatalf("step %d cell %d: effort %v, true sum %v", ti, cell, d.Effort[ti][cell], want)
+			}
+		}
+	}
+	var labels int
+	for ti := range d.Steps {
+		for cell := 0; cell < n; cell++ {
+			if d.Label[ti][cell] {
+				labels++
+			}
+		}
+	}
+	if labels == 0 {
+		t.Fatal("no positive labels carried over from observations")
+	}
+	// A waypoint-free history (the closed-loop simulator's shape) must work.
+	bare := &poach.History{Park: park, Months: h.Months, Effort: h.Effort, Observations: h.Observations}
+	d2, err := BuildFromEffort(bare, StandardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.AllPoints()) != len(d.AllPoints()) {
+		t.Fatal("waypoint-free history built a different dataset")
+	}
+}

@@ -1,0 +1,100 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"paws/internal/rng"
+)
+
+// This file implements procedural park specs: alongside the three hand-built
+// presets (MFNP, QENP, SWS), a park can be named "rand:<seed>", in which case
+// its entire configuration — lattice size, silhouette, landmark counts,
+// feature count, seasonality — is derived deterministically from the seed.
+// The spec fully identifies the park: "rand:42" is the same park everywhere,
+// regardless of the caller's root seed, so fleets of diverse scenarios can be
+// swept and the results referenced by spec.
+
+// RandPrefix marks a procedural park spec: "rand:<seed>".
+const RandPrefix = "rand:"
+
+// SpecHelp is the one-line description of valid park specs, for flag usage
+// strings and error messages.
+const SpecHelp = "MFNP, QENP, SWS or rand:<seed> (procedurally generated)"
+
+// IsRandSpec reports whether spec names a procedural park.
+func IsRandSpec(spec string) bool { return strings.HasPrefix(spec, RandPrefix) }
+
+// ParseRandSpec parses a "rand:<seed>" spec into its procedural park
+// configuration. ok is false when spec lacks the rand: prefix; err is
+// non-nil when the prefix is present but the seed is malformed.
+func ParseRandSpec(spec string) (cfg ParkConfig, ok bool, err error) {
+	if !IsRandSpec(spec) {
+		return ParkConfig{}, false, nil
+	}
+	seed, err := strconv.ParseInt(strings.TrimPrefix(spec, RandPrefix), 10, 64)
+	if err != nil {
+		return ParkConfig{}, true, fmt.Errorf("geo: invalid park spec %q: seed must be an integer", spec)
+	}
+	return RandomConfig(seed), true, nil
+}
+
+// ParseSpec resolves a park spec — a preset name or a rand:<seed> procedural
+// spec (see SpecHelp) — to its park configuration. Preset parks take their
+// generation seed from seed; procedural parks are identified entirely by the
+// spec and ignore it.
+func ParseSpec(spec string, seed int64) (ParkConfig, error) {
+	if cfg, ok := PresetByName(spec, seed); ok {
+		return cfg, nil
+	}
+	if cfg, ok, err := ParseRandSpec(spec); ok {
+		return cfg, err
+	}
+	return ParkConfig{}, fmt.Errorf("geo: unknown park spec %q (want %s)", spec, SpecHelp)
+}
+
+// RandomConfig derives a procedural park configuration from a seed: a few
+// hundred to ~1,400 cells, any of the three silhouettes, and landmark and
+// feature counts drawn from the ranges the presets span. The lattice is kept
+// at most ~65% full so the mask builder can always hit the target cell
+// count exactly (see buildMask), which the property tests assert over many
+// seeds.
+func RandomConfig(seed int64) ParkConfig {
+	r := rng.New(seed).Split("randpark")
+	shape := Shape(r.Intn(3))
+	cells := 350 + r.Intn(1050)
+	// Aspect ratio by silhouette: elongated parks are 2–3× wider than tall.
+	aspect := 0.9 + 0.4*r.Float64()
+	if shape == ShapeElongated {
+		aspect = 2.0 + r.Float64()
+	}
+	fill := 0.50 + 0.15*r.Float64()
+	area := float64(cells) / fill
+	w := int(math.Sqrt(area*aspect) + 0.5)
+	h := int(area/float64(w) + 0.5)
+	if w < 10 {
+		w = 10
+	}
+	if h < 10 {
+		h = 10
+	}
+	for w*h <= cells { // paranoia: never ask for more cells than the lattice holds
+		h++
+	}
+	return ParkConfig{
+		Name:          fmt.Sprintf("rand-%d", seed),
+		Seed:          seed,
+		W:             w,
+		H:             h,
+		TargetCells:   cells,
+		Shape:         shape,
+		NumRivers:     2 + r.Intn(7),
+		NumRoads:      2 + r.Intn(6),
+		NumVillages:   3 + r.Intn(7),
+		NumPosts:      3 + r.Intn(5),
+		ExtraFeatures: r.Intn(10),
+		Seasonal:      r.Float64() < 1.0/3,
+	}
+}

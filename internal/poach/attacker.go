@@ -1,0 +1,194 @@
+package poach
+
+import "fmt"
+
+// Attacker is the poacher decision model the closed-loop simulator
+// (internal/sim) plays patrol policies against. The simulator drives it month
+// by month: BeginMonth folds the previous month's *realized* patrol effort
+// into the attacker's state, then AttackLogit is queried per cell to sample
+// this month's snares.
+//
+// Two implementations exist. The static attacker reproduces exactly the
+// generative process poach.Simulate uses for historical data — a
+// previous-month deterrence term and nothing else — and is the default, so
+// existing behaviour is unchanged unless a caller opts in. The adaptive
+// attacker is the "Game Theory on the Ground" response model: poachers
+// remember patrol pressure over several months (deterrence) and shift their
+// effort into less-patrolled neighbouring cells (displacement).
+type Attacker interface {
+	// BeginMonth starts month m, folding the previous month's realized
+	// per-cell effort into internal state (nil when there is no previous
+	// month). Months must be fed in order; replaying a historical record
+	// through BeginMonth warm-starts the attacker's memory.
+	BeginMonth(month int, prevEffort []float64)
+	// AttackLogit returns the attack log-odds for cell id in the current
+	// month.
+	AttackLogit(id int) float64
+	// Displaced reports whether an attack at cell id this month should be
+	// attributed to displacement — patrol pressure on neighbouring cells
+	// pushing poachers here — rather than the cell's intrinsic risk.
+	Displaced(id int) bool
+}
+
+// Attacker kinds accepted by AttackerConfig.Kind.
+const (
+	AttackerStatic   = "static"
+	AttackerAdaptive = "adaptive"
+)
+
+// AttackerConfig selects and tunes an attacker behaviour. The zero value is
+// the static attacker, preserving the historical generative process.
+type AttackerConfig struct {
+	// Kind is "static" (default) or "adaptive".
+	Kind string
+	// Memory is the adaptive attacker's month-over-month pressure decay in
+	// [0,1): pressure ← Memory·pressure + realized effort. Default 0.6.
+	Memory float64
+	// Deterrence scales the own-cell pressure penalty in the attack logit.
+	// Default: the ground truth's Deterrence scaled by (1 − Memory), so the
+	// steady-state penalty under constant effort matches the static model.
+	Deterrence float64
+	// Displacement scales the neighbourhood-pressure bonus: patrols next
+	// door push attacks here. Default: half of Deterrence.
+	Displacement float64
+	// Radius is the displacement neighbourhood radius in cells (Chebyshev
+	// distance, self excluded). Default 2.
+	Radius int
+}
+
+// NewAttacker builds the attacker behaviour cfg selects over a ground truth.
+func NewAttacker(gt *GroundTruth, cfg AttackerConfig) (Attacker, error) {
+	switch cfg.Kind {
+	case "", AttackerStatic:
+		return &StaticAttacker{Truth: gt}, nil
+	case AttackerAdaptive:
+		mem := cfg.Memory
+		if mem <= 0 || mem >= 1 {
+			mem = 0.6
+		}
+		det := cfg.Deterrence
+		if det <= 0 {
+			det = gt.Deterrence * (1 - mem)
+		}
+		disp := cfg.Displacement
+		if disp <= 0 {
+			disp = det / 2
+		}
+		radius := cfg.Radius
+		if radius <= 0 {
+			radius = 2
+		}
+		n := gt.Park.Grid.NumCells()
+		return &AdaptiveAttacker{
+			Truth:        gt,
+			Memory:       mem,
+			Deterrence:   det,
+			Displacement: disp,
+			Radius:       radius,
+			pressure:     make([]float64, n),
+			spill:        make([]float64, n),
+		}, nil
+	}
+	return nil, fmt.Errorf("poach: unknown attacker kind %q (want %s or %s)", cfg.Kind, AttackerStatic, AttackerAdaptive)
+}
+
+// StaticAttacker reproduces the historical generative process of
+// poach.Simulate: the attack logit responds only to the previous month's
+// effort in the same cell, through the ground truth's Deterrence.
+type StaticAttacker struct {
+	Truth *GroundTruth
+
+	month int
+	prev  []float64
+}
+
+// BeginMonth records the month and the previous month's effort.
+func (a *StaticAttacker) BeginMonth(month int, prevEffort []float64) {
+	a.month = month
+	a.prev = prevEffort
+}
+
+// AttackLogit returns the ground truth's attack log-odds for the cell.
+func (a *StaticAttacker) AttackLogit(id int) float64 {
+	prev := 0.0
+	if a.prev != nil {
+		prev = a.prev[id]
+	}
+	return a.Truth.AttackLogit(id, a.month, prev)
+}
+
+// Displaced always reports false: the static attacker never relocates.
+func (a *StaticAttacker) Displaced(id int) bool { return false }
+
+// AdaptiveAttacker responds to realized patrol effort with memory: an
+// exponentially decayed per-cell pressure trace deters attacks where patrols
+// have been, and the average pressure of the surrounding neighbourhood
+// attracts the displaced remainder — poachers stepping sideways out of
+// patrolled areas rather than quitting.
+type AdaptiveAttacker struct {
+	Truth        *GroundTruth
+	Memory       float64
+	Deterrence   float64
+	Displacement float64
+	Radius       int
+
+	month    int
+	pressure []float64 // decayed realized-effort trace per cell
+	spill    []float64 // mean neighbourhood pressure per cell, current month
+}
+
+// BeginMonth decays the pressure trace, folds in the previous month's
+// realized effort, and rebuilds the neighbourhood-spill field.
+func (a *AdaptiveAttacker) BeginMonth(month int, prevEffort []float64) {
+	a.month = month
+	for i := range a.pressure {
+		a.pressure[i] *= a.Memory
+	}
+	if prevEffort != nil {
+		for i, e := range prevEffort {
+			a.pressure[i] += e
+		}
+	}
+	grid := a.Truth.Park.Grid
+	n := grid.NumCells()
+	for id := 0; id < n; id++ {
+		x, y := grid.CellXY(id)
+		var sum float64
+		count := 0
+		for dy := -a.Radius; dy <= a.Radius; dy++ {
+			for dx := -a.Radius; dx <= a.Radius; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if nb := grid.CellID(x+dx, y+dy); nb >= 0 {
+					sum += a.pressure[nb]
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			a.spill[id] = sum / float64(count)
+		} else {
+			a.spill[id] = 0
+		}
+	}
+}
+
+// AttackLogit returns the cell's intrinsic log-odds (the ground truth's
+// logit at zero effort) minus the own-cell deterrence plus the displacement
+// bonus from patrolled neighbours.
+func (a *AdaptiveAttacker) AttackLogit(id int) float64 {
+	base := a.Truth.AttackLogit(id, a.month, 0)
+	return base - a.Deterrence*a.pressure[id] + a.Displacement*a.spill[id]
+}
+
+// displacedLogitMargin is the minimum net displacement bonus (in logit
+// units) before an attack is attributed to displacement rather than the
+// cell's intrinsic risk.
+const displacedLogitMargin = 0.05
+
+// Displaced reports whether the displacement bonus at the cell currently
+// outweighs its own deterrence by a material margin.
+func (a *AdaptiveAttacker) Displaced(id int) bool {
+	return a.Displacement*a.spill[id] > a.Deterrence*a.pressure[id]+displacedLogitMargin
+}

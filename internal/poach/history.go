@@ -152,6 +152,45 @@ func SimByName(name string, seed int64) (SimConfig, bool) {
 	return SimConfig{}, false
 }
 
+// RandomSim derives simulation parameters for a procedural park
+// (geo.RandomConfig): patrol character, prevalence, detectability and
+// seasonality are drawn from the park's seed — so a given "rand:<seed>" park
+// always poaches the same way — while seed seeds the history's random
+// streams, so different histories can be sampled on the same park. The
+// ranges span the qualitative spread of the three presets.
+func RandomSim(park geo.ParkConfig, seed int64) SimConfig {
+	r := rng.New(park.Seed).Split("randsim")
+	cfg := SimConfig{
+		Seed:   seed,
+		Months: 60,
+		Patrol: PatrolConfig{
+			PatrolsPerPostMonth: 3 + r.Intn(5),
+			LengthKM:            10 + r.Intn(14),
+			RecordEvery:         1,
+			RoadBias:            0.2 + 0.3*r.Float64(),
+			AttractBias:         0.3 + 0.4*r.Float64(),
+			Roam:                0.3 + 0.4*r.Float64(),
+		},
+		TargetPositiveRate: 0.02 + 0.12*r.Float64(),
+		Deterrence:         0.2 + 0.3*r.Float64(),
+		DetectLambda:       0.18 + 0.2*r.Float64(),
+		HiddenAmp:          1.5 + 0.4*r.Float64(),
+		TemporalNoise:      1.1 + 0.3*r.Float64(),
+		SignalGain:         1.8 + 1.4*r.Float64(),
+		NonPoachingRate:    0.05 + 0.06*r.Float64(),
+	}
+	if r.Float64() < 0.25 {
+		// Motorbike park: long, sparse patrols.
+		cfg.Patrol.RecordEvery = 3
+		cfg.Patrol.LengthKM += 10
+	}
+	if park.Seasonal {
+		cfg.SeasonalAmp = 0.6 + 0.4*r.Float64()
+		cfg.Patrol.WetSeasonRiverBlock = true
+	}
+	return cfg
+}
+
 // Simulate runs the full generative process: patrols for every month, bias
 // calibration against the realized patrolled points, then attack and
 // detection sampling.

@@ -8,6 +8,9 @@
 //	                     effort, behind a bounded LRU response cache
 //	POST /v1/plan      — a robust patrol plan (effort map + executable
 //	                     routes) for one patrol post
+//	POST /v1/simulate  — a closed-loop multi-season policy comparison
+//	                     (Service.Simulate): PAWS vs baselines against a
+//	                     responsive poacher
 //	GET /healthz       — liveness plus the registered model names
 //
 // Every request runs under the request context, optionally bounded by
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"paws"
+	"paws/internal/sim"
 )
 
 // Config tunes a Server.
@@ -61,6 +65,7 @@ func New(svc *paws.Service, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/riskmap", s.handleRiskMap)
 	s.mux.HandleFunc("POST /v1/riskmap", s.handleRiskMap)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	return s
 }
 
@@ -320,6 +325,85 @@ type PlanResponse struct {
 	Routes    [][]int   `json:"routes"`
 	Objective float64   `json:"objective"`
 	RuntimeMS float64   `json:"runtime_ms"`
+}
+
+// ------------------------------------------------------------ /v1/simulate
+
+// SimulateRequest asks for a closed-loop policy-comparison simulation
+// (Service.Simulate): play the named patrol policies against a responsive
+// poacher on one park for several seasons.
+type SimulateRequest struct {
+	// Park is a park spec: MFNP, QENP, SWS or rand:<seed>.
+	Park string `json:"park"`
+	// Seasons is the number of planning seasons (default 4, capped at 12).
+	Seasons int `json:"seasons,omitempty"`
+	// SeasonMonths is the months per season (default 3, capped at 12).
+	SeasonMonths int `json:"season_months,omitempty"`
+	// Policies names the policies to compare (default all four).
+	Policies []string `json:"policies,omitempty"`
+	// Attacker is "static" or "adaptive" (default adaptive).
+	Attacker string `json:"attacker,omitempty"`
+	// Beta is the paws policy's robustness weight (default 0.9).
+	Beta float64 `json:"beta,omitempty"`
+	// BudgetKM overrides the per-month patrol budget.
+	BudgetKM  float64 `json:"budget_km,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is the simulation report: per-policy season logs plus the
+// deterministic fixed-width text rendering pawssim prints.
+type SimulateResponse struct {
+	*sim.Report
+	Text string `json:"text"`
+}
+
+// Simulation requests run the full closed loop — retraining the paws policy
+// every season — so their size is bounded server-side.
+const (
+	maxSimSeasons      = 12
+	maxSimSeasonMonths = 12
+	maxSimPolicies     = 8
+)
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Seasons > maxSimSeasons {
+		writeErr(w, fmt.Errorf("seasons %d exceeds the limit of %d", req.Seasons, maxSimSeasons))
+		return
+	}
+	if req.SeasonMonths > maxSimSeasonMonths {
+		writeErr(w, fmt.Errorf("season_months %d exceeds the limit of %d", req.SeasonMonths, maxSimSeasonMonths))
+		return
+	}
+	if len(req.Policies) > maxSimPolicies {
+		writeErr(w, fmt.Errorf("%d policies exceed the limit of %d", len(req.Policies), maxSimPolicies))
+		return
+	}
+	if req.Beta < 0 || req.Beta > 1 || math.IsNaN(req.Beta) {
+		writeErr(w, fmt.Errorf("beta %v out of range [0, 1]", req.Beta))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	cfg := paws.SimConfig{
+		Park:         req.Park,
+		Seasons:      req.Seasons,
+		SeasonMonths: req.SeasonMonths,
+		Policies:     req.Policies,
+		Beta:         req.Beta,
+		BudgetKM:     req.BudgetKM,
+	}
+	cfg.Attacker.Kind = req.Attacker
+	rep, err := s.svc.Simulate(ctx, cfg)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{Report: rep, Text: rep.Format()})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {

@@ -334,3 +334,61 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal("disabled cache stored a value")
 	}
 }
+
+// ------------------------------------------------------------ /v1/simulate
+
+func TestSimulateEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	var resp SimulateResponse
+	status, raw := do(t, s, http.MethodPost, "/v1/simulate", SimulateRequest{
+		Park:     "rand:16",
+		Seasons:  1,
+		Policies: []string{"uniform", "historical"},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if resp.Park != "rand-16" || resp.Seasons != 1 || len(resp.Policies) != 2 {
+		t.Fatalf("unexpected report: %s", raw)
+	}
+	if resp.Policies[0].Policy != "uniform" || len(resp.Policies[0].Seasons) != 1 {
+		t.Fatalf("missing season log: %s", raw)
+	}
+	if !strings.Contains(resp.Text, "uniform") || !strings.Contains(resp.Text, "historical") {
+		t.Fatalf("text rendering missing policies: %q", resp.Text)
+	}
+	if resp.Attacker != "adaptive" {
+		t.Fatalf("default attacker %q, want adaptive", resp.Attacker)
+	}
+}
+
+func TestSimulateEndpointValidation(t *testing.T) {
+	s := testServer(t, Config{})
+	cases := []SimulateRequest{
+		{Park: "rand:16", Seasons: maxSimSeasons + 1},
+		{Park: "rand:16", Seasons: 1, SeasonMonths: maxSimSeasonMonths + 1},
+		{Park: "rand:16", Seasons: 1, Policies: make([]string, maxSimPolicies+1)},
+		{Park: "rand:16", Seasons: 1, Beta: 1.5},
+		{Park: "ATLANTIS", Seasons: 1},
+		{Park: "rand:16", Seasons: 1, Policies: []string{"skynet"}},
+		{Park: "rand:16", Seasons: 1, Attacker: "quantum"},
+	}
+	for i, req := range cases {
+		if status, raw := do(t, s, http.MethodPost, "/v1/simulate", req, nil); status != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s), want 400", i, status, raw)
+		}
+	}
+}
+
+func TestSimulateEndpointTimeout(t *testing.T) {
+	s := testServer(t, Config{})
+	status, raw := do(t, s, http.MethodPost, "/v1/simulate", SimulateRequest{
+		Park:      "MFNP",
+		Seasons:   6,
+		Policies:  []string{"paws"},
+		TimeoutMS: 1,
+	}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", status, raw)
+	}
+}

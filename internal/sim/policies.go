@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"paws/internal/rng"
+)
+
+// This file hosts the ML-free baseline policies. The PAWS policy — retrain,
+// Frank-Wolfe plan, extract routes — lives in the root package (it needs the
+// training and planning layers) and is injected through the Policy interface.
+
+// Uniform returns the uniform-effort baseline: the budget spread evenly over
+// every park cell.
+func Uniform() Policy { return uniformPolicy{} }
+
+type uniformPolicy struct{}
+
+func (uniformPolicy) Name() string { return "uniform" }
+
+func (uniformPolicy) PlanSeason(_ context.Context, obs *Obs, _ int, _ *rng.RNG) (*SeasonPlan, error) {
+	eff := make([]float64, obs.Park.Grid.NumCells())
+	for i := range eff {
+		eff[i] = 1
+	}
+	return &SeasonPlan{Effort: eff}, nil
+}
+
+// Historical returns the status-quo baseline: effort allocated proportional
+// to the cumulative observed patrol record — keep patrolling where rangers
+// have always patrolled.
+func Historical() Policy { return historicalPolicy{} }
+
+type historicalPolicy struct{}
+
+func (historicalPolicy) Name() string { return "historical" }
+
+func (historicalPolicy) PlanSeason(_ context.Context, obs *Obs, _ int, _ *rng.RNG) (*SeasonPlan, error) {
+	eff := make([]float64, obs.Park.Grid.NumCells())
+	for m := 0; m < obs.Months; m++ {
+		for id, e := range obs.Effort[m] {
+			eff[id] += e
+		}
+	}
+	return &SeasonPlan{Effort: eff}, nil
+}
+
+// randomCellFraction is the share of park cells the random baseline patrols
+// each season.
+const randomCellFraction = 0.25
+
+// Random returns the random baseline: each season, the budget spread evenly
+// over a fresh random quarter of the park.
+func Random() Policy { return randomPolicy{} }
+
+type randomPolicy struct{}
+
+func (randomPolicy) Name() string { return "random" }
+
+func (randomPolicy) PlanSeason(_ context.Context, obs *Obs, _ int, r *rng.RNG) (*SeasonPlan, error) {
+	n := obs.Park.Grid.NumCells()
+	k := int(float64(n) * randomCellFraction)
+	if k < 1 {
+		k = 1
+	}
+	eff := make([]float64, n)
+	for _, id := range r.SampleWithoutReplacement(n, k) {
+		eff[id] = 1
+	}
+	return &SeasonPlan{Effort: eff}, nil
+}
+
+// ByName resolves a built-in baseline policy name ("uniform", "historical",
+// "random"). The "paws" policy is constructed by the root package.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "uniform":
+		return Uniform(), nil
+	case "historical":
+		return Historical(), nil
+	case "random":
+		return Random(), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q (built-ins: uniform, historical, random)", name)
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the report as a fixed-width text table. The output is a
+// pure function of the report values — byte-identical for any worker count —
+// which the determinism tests and the pawssim smoke script rely on.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "park %s seed %d: %d seasons × %d months, budget %.1f km/month, attacker %s\n",
+		r.Park, r.Seed, r.Seasons, r.SeasonMonths, r.BudgetKM, r.Attacker)
+	fmt.Fprintf(&b, "%-12s %6s %9s %7s %9s %10s %7s %10s\n",
+		"policy", "season", "months", "snares", "detected", "displaced", "routes", "effort-km")
+	for _, p := range r.Policies {
+		for _, s := range p.Seasons {
+			months := fmt.Sprintf("%d-%d", s.StartMonth, s.StartMonth+r.SeasonMonths-1)
+			fmt.Fprintf(&b, "%-12s %6d %9s %7d %9d %10d %7d %10.1f\n",
+				p.Policy, s.Season+1, months, s.Snares, s.Detections, s.Displaced, s.Routes, s.EffortKM)
+		}
+	}
+	for _, p := range r.Policies {
+		rate := 0.0
+		if p.Snares > 0 {
+			rate = 100 * float64(p.Detections) / float64(p.Snares)
+		}
+		fmt.Fprintf(&b, "total %-12s snares %5d  detected %5d (%.1f%%)  displaced %5d\n",
+			p.Policy, p.Snares, p.Detections, rate, p.Displaced)
+	}
+	return b.String()
+}

@@ -1,0 +1,371 @@
+// Package sim is the closed-loop patrol simulation engine: the missing half
+// of the paper's field-test story. The repo's other packages generate ONE
+// fixed history and score predictions against it; this package runs the full
+// plan → patrol → poacher-reaction → retrain loop so patrol *policies* can be
+// compared head-to-head over multiple seasons.
+//
+// # The season loop
+//
+// A simulation starts from a bootstrap history (poach.Simulate under the
+// park's historical ranger behaviour) and then, for each season:
+//
+//  1. The policy under test sees the observed record so far — realized
+//     patrol effort and detections, never the hidden attacks — and plans a
+//     per-cell effort allocation for the season (the PAWS policy in the root
+//     package retrains its model and runs the Frank-Wolfe planner here).
+//  2. The engine rescales the allocation to the park's monthly patrol
+//     budget and executes it for each month of the season.
+//  3. The attacker (poach.Attacker) responds: the static behaviour
+//     reproduces the historical process, while the adaptive behaviour
+//     remembers patrol pressure (deterrence) and shifts attacks into
+//     less-patrolled neighbouring cells (displacement).
+//  4. Realized attacks are detected with the effort-dependent probability of
+//     the ground truth; detections (and non-poaching observations) append to
+//     the observed record the policy trains on next season.
+//
+// Per-season detections, snares placed and displaced attacks are reported
+// per policy, so "PAWS vs uniform vs historical vs random" is one call.
+//
+// # Determinism
+//
+// Every policy's loop runs against common random numbers: the per-cell
+// attack-opportunism noise and the attack/detection/observation uniforms for
+// month m are derived from (seed, m) only, never from the policy. Two
+// policies' outcomes therefore differ only where their patrol effort
+// actually changes an attack or detection probability — the tightest
+// possible head-to-head comparison — and the whole report is byte-identical
+// for any worker count (policies fan out over internal/par).
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"paws/internal/geo"
+	"paws/internal/par"
+	"paws/internal/poach"
+	"paws/internal/rng"
+	"paws/internal/stats"
+)
+
+// Obs is the policy-visible state of a simulation: the park and the observed
+// patrol record. Hidden ground truth (where attacks actually happened) is
+// deliberately absent — policies know exactly what real park managers know.
+// All slices are owned by the engine and must be treated as read-only.
+type Obs struct {
+	Park *geo.Park
+	// Months is the number of observed months; Effort and Detections have
+	// one entry per month.
+	Months int
+	// Effort[m][cell] is the realized patrol effort (km).
+	Effort [][]float64
+	// Detections[m][cell] reports a detected poaching sign.
+	Detections [][]bool
+	// Observations is the SMART-style observation log (poaching and
+	// non-poaching).
+	Observations []poach.Observation
+	// BudgetKM is the per-month patrol budget the plan will be scaled to.
+	BudgetKM float64
+}
+
+// SeasonPlan is a policy's allocation for one season: desired per-cell
+// patrol effort (rescaled by the engine to the budget) and, optionally, the
+// executable routes behind it (reported, not re-derived).
+type SeasonPlan struct {
+	// Effort[cell] is the desired patrol effort; only its relative
+	// distribution matters (the engine normalizes the total to the budget).
+	Effort []float64
+	// Routes are optional executable patrols in park cell ids.
+	Routes [][]int
+}
+
+// Policy plans one season of patrol effort from the observed record. r is a
+// deterministic stream derived from the simulation seed, the policy name and
+// the season — the only randomness a policy may use.
+type Policy interface {
+	Name() string
+	PlanSeason(ctx context.Context, obs *Obs, season int, r *rng.RNG) (*SeasonPlan, error)
+}
+
+// Config drives one closed-loop simulation.
+type Config struct {
+	// Park is the generated park the loop runs on.
+	Park *geo.Park
+	// Sim supplies the generative-process parameters (ground truth shape,
+	// detection rate, patrol character for the bootstrap, temporal noise).
+	// Sim.Months is ignored; BootstrapMonths is used instead.
+	Sim poach.SimConfig
+	// Attacker selects the poacher response behaviour (default: static, the
+	// historical process).
+	Attacker poach.AttackerConfig
+	// Seasons is the number of planning seasons to run.
+	Seasons int
+	// SeasonMonths is the number of months per season (default 3 — one
+	// quarterly planning cycle, matching the dataset discretization).
+	SeasonMonths int
+	// BootstrapMonths is the historical record simulated before the loop
+	// starts (default 24). It must cover at least one dataset step.
+	BootstrapMonths int
+	// BudgetKM is the per-month patrol budget; 0 derives the park's ranger
+	// capacity from Sim.Patrol (posts × patrols × length).
+	BudgetKM float64
+	// Workers bounds the goroutines policies fan out over (par.Workers
+	// semantics). The report is byte-identical for any worker count.
+	Workers int
+}
+
+// withDefaults validates and fills cfg.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Park == nil {
+		return cfg, fmt.Errorf("sim: nil park")
+	}
+	if cfg.Seasons < 1 {
+		return cfg, fmt.Errorf("sim: seasons must be ≥ 1, got %d", cfg.Seasons)
+	}
+	if cfg.SeasonMonths <= 0 {
+		cfg.SeasonMonths = 3
+	}
+	if cfg.BootstrapMonths <= 0 {
+		cfg.BootstrapMonths = 24
+	}
+	if cfg.BudgetKM <= 0 {
+		p := cfg.Sim.Patrol
+		cfg.BudgetKM = float64(len(cfg.Park.Posts) * p.PatrolsPerPostMonth * p.LengthKM)
+	}
+	if cfg.BudgetKM <= 0 {
+		return cfg, fmt.Errorf("sim: no patrol budget (set BudgetKM or Sim.Patrol)")
+	}
+	return cfg, nil
+}
+
+// SeasonStats is one season's outcome for one policy.
+type SeasonStats struct {
+	Season     int     `json:"season"`
+	StartMonth int     `json:"start_month"`
+	Snares     int     `json:"snares"`
+	Detections int     `json:"detections"`
+	Displaced  int     `json:"displaced"`
+	Routes     int     `json:"routes"`
+	EffortKM   float64 `json:"effort_km"`
+}
+
+// PolicyResult is one policy's full season log plus totals.
+type PolicyResult struct {
+	Policy     string        `json:"policy"`
+	Seasons    []SeasonStats `json:"seasons"`
+	Snares     int           `json:"snares"`
+	Detections int           `json:"detections"`
+	Displaced  int           `json:"displaced"`
+}
+
+// Report is the head-to-head outcome of one simulation run.
+type Report struct {
+	Park         string         `json:"park"`
+	Seed         int64          `json:"seed"`
+	Attacker     string         `json:"attacker"`
+	Seasons      int            `json:"seasons"`
+	SeasonMonths int            `json:"season_months"`
+	BudgetKM     float64        `json:"budget_km"`
+	Policies     []PolicyResult `json:"policies"`
+}
+
+// Run executes the closed loop for every policy and returns the comparison
+// report. Policies are independent given the shared bootstrap history and
+// common random numbers, so they fan out over cfg.Workers goroutines with
+// results in policy order — the report is byte-identical for any count.
+func Run(ctx context.Context, cfg Config, policies []Policy) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("sim: no policies")
+	}
+	seen := map[string]bool{}
+	for _, p := range policies {
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("sim: duplicate policy %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	bootCfg := cfg.Sim
+	bootCfg.Months = cfg.BootstrapMonths
+	boot, err := poach.Simulate(cfg.Park, bootCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: bootstrap history: %w", err)
+	}
+	// Validate the attacker config once, before fan-out.
+	if _, err := poach.NewAttacker(boot.Truth, cfg.Attacker); err != nil {
+		return nil, err
+	}
+	results, err := par.MapErrCtx(ctx, cfg.Workers, len(policies), func(i int) (PolicyResult, error) {
+		return runPolicy(ctx, cfg, boot, policies[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	attacker := cfg.Attacker.Kind
+	if attacker == "" {
+		attacker = poach.AttackerStatic
+	}
+	return &Report{
+		Park:         cfg.Park.Name,
+		Seed:         cfg.Sim.Seed,
+		Attacker:     attacker,
+		Seasons:      cfg.Seasons,
+		SeasonMonths: cfg.SeasonMonths,
+		BudgetKM:     cfg.BudgetKM,
+		Policies:     results,
+	}, nil
+}
+
+// runPolicy plays one policy through every season against its own attacker
+// instance and its own extendable copy of the bootstrap history.
+func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (PolicyResult, error) {
+	park := cfg.Park
+	n := park.Grid.NumCells()
+	gt := boot.Truth
+	att, err := poach.NewAttacker(gt, cfg.Attacker)
+	if err != nil {
+		return PolicyResult{}, err
+	}
+	h := extendableCopy(boot)
+	// Warm the attacker's memory on the bootstrap record.
+	for m := 0; m < h.Months; m++ {
+		att.BeginMonth(m, prevEffort(h, m))
+	}
+	res := PolicyResult{Policy: p.Name()}
+	root := rng.New(cfg.Sim.Seed)
+	for s := 0; s < cfg.Seasons; s++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		obs := &Obs{
+			Park:         park,
+			Months:       h.Months,
+			Effort:       h.Effort,
+			Detections:   h.Detected,
+			Observations: h.Observations,
+			BudgetKM:     cfg.BudgetKM,
+		}
+		stream := root.Split(fmt.Sprintf("policy:%s:season:%d", p.Name(), s))
+		plan, err := p.PlanSeason(ctx, obs, s, stream)
+		if err != nil {
+			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
+		}
+		eff, err := scaleToBudget(plan.Effort, cfg.BudgetKM, n)
+		if err != nil {
+			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
+		}
+		st := SeasonStats{Season: s, StartMonth: h.Months, Routes: len(plan.Routes)}
+		for k := 0; k < cfg.SeasonMonths; k++ {
+			m := h.Months
+			att.BeginMonth(m, prevEffort(h, m))
+			noise, attackU, detectU, obsU := monthDraws(cfg.Sim.Seed, m, n)
+			attacked := make([]bool, n)
+			detected := make([]bool, n)
+			for id := 0; id < n; id++ {
+				logit := att.AttackLogit(id) + cfg.Sim.TemporalNoise*noise[id]
+				if attackU[id] >= stats.Logistic(logit) {
+					continue
+				}
+				attacked[id] = true
+				st.Snares++
+				if att.Displaced(id) {
+					st.Displaced++
+				}
+				if detectU[id] < gt.DetectProb(eff[id]) {
+					detected[id] = true
+					st.Detections++
+					h.Observations = append(h.Observations, poach.Observation{Month: m, CellID: id, Poaching: true})
+				}
+			}
+			for id := 0; id < n; id++ {
+				if eff[id] > 0 && obsU[id] < cfg.Sim.NonPoachingRate {
+					h.Observations = append(h.Observations, poach.Observation{Month: m, CellID: id, Poaching: false})
+				}
+			}
+			h.Effort = append(h.Effort, eff)
+			h.Attacked = append(h.Attacked, attacked)
+			h.Detected = append(h.Detected, detected)
+			h.Months++
+			for _, e := range eff {
+				st.EffortKM += e
+			}
+		}
+		res.Seasons = append(res.Seasons, st)
+		res.Snares += st.Snares
+		res.Detections += st.Detections
+		res.Displaced += st.Displaced
+	}
+	return res, nil
+}
+
+// monthDraws returns the per-cell random draws for one simulated month,
+// derived from the root seed and the month only — every policy sees the same
+// draws (common random numbers), so two policies' outcomes differ only where
+// their patrol effort actually changes a probability. Exactly four draws per
+// cell are consumed in a fixed order, so the streams stay aligned across
+// policies regardless of outcomes.
+func monthDraws(seed int64, month, n int) (noise, attackU, detectU, obsU []float64) {
+	r := rng.New(seed).Split(fmt.Sprintf("sim-month:%d", month))
+	noise = make([]float64, n)
+	attackU = make([]float64, n)
+	detectU = make([]float64, n)
+	obsU = make([]float64, n)
+	for id := 0; id < n; id++ {
+		noise[id] = r.NormFloat64()
+		attackU[id] = r.Float64()
+		detectU[id] = r.Float64()
+		obsU[id] = r.Float64()
+	}
+	return noise, attackU, detectU, obsU
+}
+
+// prevEffort returns month m−1's realized effort, or nil for the first month.
+func prevEffort(h *poach.History, m int) []float64 {
+	if m <= 0 {
+		return nil
+	}
+	return h.Effort[m-1]
+}
+
+// extendableCopy clones the outer slices of a history so each policy can
+// append months without touching the shared bootstrap. Inner per-month
+// slices are shared read-only.
+func extendableCopy(boot *poach.History) *poach.History {
+	h := *boot
+	h.Effort = append(make([][]float64, 0, len(boot.Effort)+8), boot.Effort...)
+	h.Attacked = append(make([][]bool, 0, len(boot.Attacked)+8), boot.Attacked...)
+	h.Detected = append(make([][]bool, 0, len(boot.Detected)+8), boot.Detected...)
+	h.Observations = append(make([]poach.Observation, 0, len(boot.Observations)+64), boot.Observations...)
+	return &h
+}
+
+// scaleToBudget clamps negatives and rescales the allocation so the total
+// equals the monthly budget. An all-zero allocation falls back to uniform.
+func scaleToBudget(effort []float64, budget float64, n int) ([]float64, error) {
+	if len(effort) != n {
+		return nil, fmt.Errorf("sim: plan has %d cells, park has %d", len(effort), n)
+	}
+	out := make([]float64, n)
+	var total float64
+	for i, e := range effort {
+		if e > 0 {
+			out[i] = e
+			total += e
+		}
+	}
+	if total <= 0 {
+		u := budget / float64(n)
+		for i := range out {
+			out[i] = u
+		}
+		return out, nil
+	}
+	scale := budget / total
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}

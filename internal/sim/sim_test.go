@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"paws/internal/geo"
+	"paws/internal/poach"
+)
+
+// testConfig builds a small, fast simulation configuration.
+func testConfig(t *testing.T, attacker string) Config {
+	t.Helper()
+	parkCfg := geo.RandomConfig(16) // 359 cells
+	park, err := geo.GeneratePark(parkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Park:            park,
+		Sim:             poach.RandomSim(parkCfg, 21),
+		Attacker:        poach.AttackerConfig{Kind: attacker},
+		Seasons:         2,
+		BootstrapMonths: 12,
+	}
+}
+
+func allPolicies() []Policy { return []Policy{Uniform(), Historical(), Random()} }
+
+// TestRunDeterministicAcrossWorkers is the engine half of the determinism
+// acceptance: the same seed must produce a byte-identical season report for
+// any worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		cfg := testConfig(t, poach.AttackerAdaptive)
+		cfg.Workers = workers
+		rep, err := Run(context.Background(), cfg, allPolicies())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Format()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("report differs at workers=%d:\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRunBudgetRespected: every season's executed effort must total the
+// monthly budget times the season length, for every policy.
+func TestRunBudgetRespected(t *testing.T) {
+	cfg := testConfig(t, poach.AttackerStatic)
+	cfg.BudgetKM = 100
+	rep, err := Run(context.Background(), cfg, allPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Policies {
+		if len(p.Seasons) != cfg.Seasons {
+			t.Fatalf("%s: %d seasons, want %d", p.Policy, len(p.Seasons), cfg.Seasons)
+		}
+		for _, s := range p.Seasons {
+			want := cfg.BudgetKM * 3 // default SeasonMonths
+			if math.Abs(s.EffortKM-want) > 1e-6*want {
+				t.Errorf("%s season %d: effort %v km, want %v", p.Policy, s.Season, s.EffortKM, want)
+			}
+		}
+	}
+}
+
+// TestStaticAttackerNeverDisplaces: displacement is an adaptive-only effect.
+func TestStaticAttackerNeverDisplaces(t *testing.T) {
+	rep, err := Run(context.Background(), testConfig(t, poach.AttackerStatic), allPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attacker != poach.AttackerStatic {
+		t.Fatalf("report attacker %q", rep.Attacker)
+	}
+	for _, p := range rep.Policies {
+		if p.Displaced != 0 {
+			t.Errorf("%s: %d displaced attacks under the static attacker", p.Policy, p.Displaced)
+		}
+		if p.Snares == 0 {
+			t.Errorf("%s: no attacks at all", p.Policy)
+		}
+	}
+}
+
+// TestCommonRandomNumbers: under the static attacker, two policies with the
+// SAME executed effort see identical outcomes — the draws are shared, so
+// differences can only come from effort.
+func TestCommonRandomNumbers(t *testing.T) {
+	cfg := testConfig(t, poach.AttackerStatic)
+	// uniformTwin plans exactly like Uniform under a different name.
+	rep, err := Run(context.Background(), cfg, []Policy{Uniform(), named{Policy: Uniform(), name: "uniform-twin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rep.Policies[0], rep.Policies[1]
+	if a.Snares != b.Snares || a.Detections != b.Detections {
+		t.Fatalf("identical effort, different outcomes: %+v vs %+v", a, b)
+	}
+}
+
+// named renames a policy (policy names key the per-season RNG streams, which
+// the twin must not use — Uniform ignores its stream, so outcomes match).
+type named struct {
+	Policy
+	name string
+}
+
+func (n named) Name() string { return n.name }
+
+// TestRunValidation covers config and policy errors.
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{}, allPolicies()); err == nil {
+		t.Error("nil park accepted")
+	}
+	cfg := testConfig(t, poach.AttackerStatic)
+	if _, err := Run(ctx, cfg, nil); err == nil {
+		t.Error("no policies accepted")
+	}
+	if _, err := Run(ctx, cfg, []Policy{Uniform(), Uniform()}); err == nil {
+		t.Error("duplicate policy names accepted")
+	}
+	bad := cfg
+	bad.Attacker.Kind = "quantum"
+	if _, err := Run(ctx, bad, allPolicies()); err == nil {
+		t.Error("unknown attacker accepted")
+	}
+	zero := cfg
+	zero.Seasons = 0
+	if _, err := Run(ctx, zero, allPolicies()); err == nil {
+		t.Error("zero seasons accepted")
+	}
+}
+
+// TestRunCanceledContext: a dead context aborts instead of running seasons.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig(t, poach.AttackerStatic), allPolicies()); err == nil {
+		t.Fatal("canceled context did not abort the run")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "historical", "random"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("paws"); err == nil {
+		t.Fatal("ByName must not resolve the root-package paws policy")
+	}
+}
+
+// TestScaleToBudget covers clamping, rescale and the uniform fallback.
+func TestScaleToBudget(t *testing.T) {
+	out, err := scaleToBudget([]float64{1, 3, -2, 0}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 6 || out[2] != 0 || out[3] != 0 {
+		t.Fatalf("scaled allocation %v", out)
+	}
+	flat, err := scaleToBudget([]float64{0, 0}, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat[0] != 3 || flat[1] != 3 {
+		t.Fatalf("uniform fallback %v", flat)
+	}
+	if _, err := scaleToBudget([]float64{1}, 6, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -34,6 +34,15 @@
 // answer queries against it, and internal/serve + cmd/pawsd expose those
 // queries over JSON/HTTP (/v1/predict, /v1/riskmap, /v1/plan).
 //
+// # Closed-loop simulation
+//
+// Service.Simulate runs the plan → patrol → poacher-reaction → retrain loop
+// of internal/sim: patrol policies (the full PAWS pipeline vs
+// uniform/historical/random baselines) compared head-to-head over multiple
+// seasons against a static or adaptive attacker (poach.Attacker), on preset
+// or procedural ("rand:<seed>") parks. cmd/pawssim is the CLI and
+// /v1/simulate the HTTP surface.
+//
 // # Pipeline substrates
 //
 // The package ties together the substrates in internal/…:
@@ -86,26 +95,30 @@ type Scenario struct {
 	DryData *dataset.Dataset
 }
 
-// NewScenario generates a preset park ("MFNP", "QENP" or "SWS") with its
-// 6-year history and datasets.
+// NewScenario generates a park from a spec — a preset name ("MFNP", "QENP",
+// "SWS") or a procedural "rand:<seed>" spec — with its simulated history and
+// datasets.
 func NewScenario(name string, seed int64) (*Scenario, error) {
-	return NewScenarioCtx(context.Background(), name, seed)
+	return sansCtx(func(ctx context.Context) (*Scenario, error) {
+		return NewScenarioCtx(ctx, name, seed)
+	})
 }
 
 // NewScenarioCtx is NewScenario under a context, observed between the
 // generation stages (park, history, datasets).
 func NewScenarioCtx(ctx context.Context, name string, seed int64) (*Scenario, error) {
-	parkCfg, ok := geo.PresetByName(name, seed)
-	if !ok {
-		return nil, fmt.Errorf("paws: unknown park preset %q", name)
+	parkCfg, simCfg, err := specConfigs(name, seed)
+	if err != nil {
+		return nil, err
 	}
-	simCfg, _ := poach.SimByName(name, seed+1)
 	return NewCustomScenarioCtx(ctx, parkCfg, simCfg)
 }
 
 // NewCustomScenario generates a scenario from explicit configurations.
 func NewCustomScenario(parkCfg geo.ParkConfig, simCfg poach.SimConfig) (*Scenario, error) {
-	return NewCustomScenarioCtx(context.Background(), parkCfg, simCfg)
+	return sansCtx(func(ctx context.Context) (*Scenario, error) {
+		return NewCustomScenarioCtx(ctx, parkCfg, simCfg)
+	})
 }
 
 // NewCustomScenarioCtx is NewCustomScenario under a context, observed
@@ -150,6 +163,14 @@ func ctxErr(ctx context.Context) error {
 		return nil
 	}
 	return ctx.Err()
+}
+
+// sansCtx adapts a *Ctx entry point to its legacy context-free form: every
+// non-Ctx wrapper in this package is one call through this helper — either a
+// method value or a closure binding the arguments — instead of a hand-rolled
+// context.Background() body copied into each wrapper.
+func sansCtx[T any](fn func(context.Context) (T, error)) (T, error) {
+	return fn(context.Background())
 }
 
 // ModelKind selects one of the six Table II predictive models.
@@ -298,7 +319,9 @@ func weakLearnerFactory(kind ModelKind, o TrainOptions, numFeatures int) ml.Fact
 
 // Train fits the selected model on training points.
 func Train(train []dataset.Point, opts TrainOptions) (*Model, error) {
-	return TrainCtx(context.Background(), train, opts)
+	return sansCtx(func(ctx context.Context) (*Model, error) {
+		return TrainCtx(ctx, train, opts)
+	})
 }
 
 // TrainCtx is Train under a context: cancellation and deadlines are
@@ -357,7 +380,9 @@ func trainErr(kind ModelKind, err error) error {
 // ladder instead of the percentile-derived one — used by the threshold
 // ablation (the original iWare-E used fixed-kilometre grids).
 func TrainWithThresholds(train []dataset.Point, thresholds []float64, opts TrainOptions) (*Model, error) {
-	return TrainWithThresholdsCtx(context.Background(), train, thresholds, opts)
+	return sansCtx(func(ctx context.Context) (*Model, error) {
+		return TrainWithThresholdsCtx(ctx, train, thresholds, opts)
+	})
 }
 
 // TrainWithThresholdsCtx is TrainWithThresholds under a context, with

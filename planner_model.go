@@ -91,7 +91,9 @@ func NewPlannerModel(m *Model, d *dataset.Dataset, prevStep int) (*PlannerModel,
 // for the calibration pass and subsequent map generation (par.Workers
 // semantics: 1 is sequential, ≤ 0 means GOMAXPROCS).
 func NewPlannerModelWorkers(m *Model, d *dataset.Dataset, prevStep, workers int) (*PlannerModel, error) {
-	return NewPlannerModelCtx(context.Background(), m, d, prevStep, workers)
+	return sansCtx(func(ctx context.Context) (*PlannerModel, error) {
+		return NewPlannerModelCtx(ctx, m, d, prevStep, workers)
+	})
 }
 
 // NewPlannerModelCtx is NewPlannerModelWorkers under a context: the

@@ -32,16 +32,41 @@ func ParseScale(s string) (Scale, error) {
 	return 0, fmt.Errorf("paws: unknown scale %q (want full or small)", s)
 }
 
-// ScenarioAt generates the named park at the requested scale.
+// ScenarioAt generates the park named by a spec at the requested scale.
 func ScenarioAt(name string, scale Scale, seed int64) (*Scenario, error) {
-	if scale == ScaleFull {
-		return NewScenario(name, seed)
-	}
-	parkCfg, simCfg, err := smallConfigs(name, seed)
+	parkCfg, simCfg, err := resolveConfigs(name, scale, seed)
 	if err != nil {
 		return nil, err
 	}
 	return NewCustomScenario(parkCfg, simCfg)
+}
+
+// specConfigs resolves a full-scale park spec — a preset name or a
+// rand:<seed> procedural spec — to its park and simulation configurations.
+// Preset histories take their parameters from the paper's calibration;
+// procedural parks derive theirs from the spec seed (poach.RandomSim).
+func specConfigs(name string, seed int64) (geo.ParkConfig, poach.SimConfig, error) {
+	if parkCfg, ok := geo.PresetByName(name, seed); ok {
+		simCfg, _ := poach.SimByName(name, seed+1)
+		return parkCfg, simCfg, nil
+	}
+	if parkCfg, ok, err := geo.ParseRandSpec(name); ok {
+		if err != nil {
+			return geo.ParkConfig{}, poach.SimConfig{}, err
+		}
+		return parkCfg, poach.RandomSim(parkCfg, seed+1), nil
+	}
+	return geo.ParkConfig{}, poach.SimConfig{}, fmt.Errorf("paws: unknown park spec %q (want %s)", name, geo.SpecHelp)
+}
+
+// resolveConfigs is specConfigs honouring the scale: presets have reduced
+// ScaleSmall variants, while procedural parks are already modest and ignore
+// the scale.
+func resolveConfigs(name string, scale Scale, seed int64) (geo.ParkConfig, poach.SimConfig, error) {
+	if scale == ScaleSmall && !geo.IsRandSpec(name) {
+		return smallConfigs(name, seed)
+	}
+	return specConfigs(name, seed)
 }
 
 // smallConfigs mirrors the presets at reduced size.
@@ -93,7 +118,7 @@ func smallConfigs(name string, seed int64) (geo.ParkConfig, poach.SimConfig, err
 				NonPoachingRate: 0.05,
 			}, nil
 	}
-	return geo.ParkConfig{}, poach.SimConfig{}, fmt.Errorf("paws: unknown park %q", name)
+	return geo.ParkConfig{}, poach.SimConfig{}, fmt.Errorf("paws: unknown park %q (want %s)", name, geo.SpecHelp)
 }
 
 // TrainOptionsAt returns paper-flavoured training options for a park at a

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# pawssim smoke test: run a one-season (3-month) closed-loop simulation of
+# two policies on a small procedural park and assert the report is sane and
+# byte-identical across worker counts. Used by CI and runnable locally:
+# ./scripts/pawssim_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/pawssim"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+go build -o "$BIN" ./cmd/pawssim
+
+ARGS=(-park rand:16 -seed 7 -seasons 1 -policies paws,uniform)
+"$BIN" "${ARGS[@]}" -workers 1 >"$WORKDIR/w1.txt"
+"$BIN" "${ARGS[@]}" -workers 8 >"$WORKDIR/w8.txt"
+
+if ! diff -u "$WORKDIR/w1.txt" "$WORKDIR/w8.txt"; then
+  echo "FAIL: report differs between -workers 1 and -workers 8"
+  exit 1
+fi
+
+grep -q "^park rand-16 " "$WORKDIR/w1.txt" || { echo "FAIL: missing park header"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q "^total paws " "$WORKDIR/w1.txt" || { echo "FAIL: missing paws totals"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q "^total uniform " "$WORKDIR/w1.txt" || { echo "FAIL: missing uniform totals"; cat "$WORKDIR/w1.txt"; exit 1; }
+
+cat "$WORKDIR/w1.txt"
+echo "pawssim smoke test passed"

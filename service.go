@@ -89,14 +89,13 @@ func (sm *ServedModel) FeatureDim() int { return sm.featureDim }
 
 // ------------------------------------------------------------- compute API
 
-// Scenario generates a named park preset at the configured scale
-// (WithScale; default full) with its simulated history and datasets.
+// Scenario generates the park named by a spec — a preset ("MFNP", "QENP",
+// "SWS") at the configured scale (WithScale; default full), or a procedural
+// "rand:<seed>" park, which is already modest and ignores the scale — with
+// its simulated history and datasets.
 func (s *Service) Scenario(ctx context.Context, name string, opts ...Option) (*Scenario, error) {
 	st := s.settingsFor(opts)
-	if st.scale == ScaleFull {
-		return NewScenarioCtx(ctx, name, st.seed)
-	}
-	parkCfg, simCfg, err := smallConfigs(name, st.seed)
+	parkCfg, simCfg, err := resolveConfigs(name, st.scale, st.seed)
 	if err != nil {
 		return nil, err
 	}

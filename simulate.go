@@ -1,0 +1,275 @@
+package paws
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"paws/internal/dataset"
+	"paws/internal/geo"
+	"paws/internal/par"
+	"paws/internal/plan"
+	"paws/internal/poach"
+	"paws/internal/rng"
+	"paws/internal/sim"
+)
+
+// SimConfig configures Service.Simulate: a closed-loop, multi-season patrol
+// simulation (internal/sim) comparing patrol policies head-to-head on one
+// park. Zero values select defaults; the park spec, seed, scale, model kind
+// and worker count come from the Service options as usual.
+type SimConfig struct {
+	// Park is a park spec: MFNP, QENP, SWS or rand:<seed>.
+	Park string
+	// Seasons is the number of planning seasons (default 4).
+	Seasons int
+	// SeasonMonths is the months per season (default 3, one quarterly
+	// planning cycle).
+	SeasonMonths int
+	// BootstrapMonths is the historical record simulated before the loop
+	// (default 24).
+	BootstrapMonths int
+	// BudgetKM is the per-month patrol budget; 0 derives the park's ranger
+	// capacity.
+	BudgetKM float64
+	// Policies names the policies to compare (default
+	// paws,uniform,historical,random).
+	Policies []string
+	// Attacker selects the poacher response behaviour. Default: adaptive
+	// (deterrence + displacement); set Kind to poach.AttackerStatic for the
+	// historical non-responsive process.
+	Attacker poach.AttackerConfig
+	// Beta is the robustness weight of the paws policy's planner
+	// (default 0.9).
+	Beta float64
+}
+
+// withDefaults fills the zero values.
+func (cfg SimConfig) withDefaults() SimConfig {
+	if cfg.Park == "" {
+		cfg.Park = "MFNP"
+	}
+	if cfg.Seasons <= 0 {
+		cfg.Seasons = 4
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []string{"paws", "uniform", "historical", "random"}
+	}
+	if cfg.Attacker.Kind == "" {
+		cfg.Attacker.Kind = poach.AttackerAdaptive
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 0.9
+	}
+	return cfg
+}
+
+// Simulate runs the closed-loop policy comparison: generate the park,
+// bootstrap its history, then for each requested policy repeat the
+// plan → patrol → poacher-reaction → retrain season loop and report
+// per-season detections, snares and displacement. The "paws" policy retrains
+// the configured model kind (WithKind; default DTB-iW) each season and plans
+// with the Frank-Wolfe planner; baselines come from internal/sim. The
+// context is observed between seasons and through every training and
+// planning call; the report is byte-identical for any worker count.
+func (s *Service) Simulate(ctx context.Context, cfg SimConfig, opts ...Option) (*sim.Report, error) {
+	st := s.settingsFor(opts)
+	cfg = cfg.withDefaults()
+	parkCfg, simCfg, err := resolveConfigs(cfg.Park, st.scale, st.seed)
+	if err != nil {
+		return nil, err
+	}
+	// Drive the loop (and label the report) with the root seed the caller
+	// passed, so the printed "seed N" reproduces the report verbatim. The
+	// scenario convention of offsetting the history seed exists to separate
+	// park and history streams, which the engine's labelled splits already do.
+	simCfg.Seed = st.seed
+	park, err := geo.GeneratePark(parkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("paws: generate park: %w", err)
+	}
+	policies := make([]sim.Policy, len(cfg.Policies))
+	for i, name := range cfg.Policies {
+		if name == "paws" {
+			policies[i] = &pawsPolicy{st: st, beta: cfg.Beta}
+			continue
+		}
+		p, err := sim.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("paws: %w (plus \"paws\")", err)
+		}
+		policies[i] = p
+	}
+	return sim.Run(ctx, sim.Config{
+		Park:            park,
+		Sim:             simCfg,
+		Attacker:        cfg.Attacker,
+		Seasons:         cfg.Seasons,
+		SeasonMonths:    cfg.SeasonMonths,
+		BootstrapMonths: cfg.BootstrapMonths,
+		BudgetKM:        cfg.BudgetKM,
+		Workers:         st.workers,
+	}, policies)
+}
+
+// Planner-shape defaults for the paws simulation policy.
+const (
+	// simTargetKMPerCell sets how thinly the budget is spread over the
+	// targeted sector: ~1 km/cell sits below the knee of the detection
+	// curve (1−exp(−λc)), so coverage is broad rather than saturating.
+	simTargetKMPerCell = 1.0
+	// Route extraction around each post (the deployable patrol artifact).
+	simPlanRadius   = 8
+	simPlanMaxCells = 90
+	simPlanT        = 10
+	simPlanK        = 3.0
+	simPlanSegments = 8
+)
+
+// pawsPolicy is the full PAWS pipeline as a simulation policy. Each season
+// it rebuilds the dataset from the observed record, retrains the configured
+// model kind, and targets the predicted-risk hot mass: the budget is spread
+// over the top cells of the park-wide risk map, proportional to risk — the
+// paper's field-test protocol of selecting high-risk sectors at a nominal
+// achievable effort. The Frank-Wolfe planner then turns each patrol post's
+// share of the allocation into executable routes, reported with the plan.
+// Retraining every season is what lets the policy chase displacement: when
+// the adaptive attacker shifts into neighbouring cells, next season's
+// detections move the risk map after it.
+type pawsPolicy struct {
+	st   settings
+	beta float64
+}
+
+func (p *pawsPolicy) Name() string { return "paws" }
+
+// trainOptions picks lighter-than-paper defaults (the model retrains every
+// season) unless the caller set them explicitly.
+func (p *pawsPolicy) trainOptions(seed int64) TrainOptions {
+	tr := p.st.trainOptions()
+	if !p.st.kindSet {
+		tr.Kind = DTBiW
+	}
+	if tr.Thresholds <= 0 {
+		tr.Thresholds = 6
+	}
+	if tr.Members <= 0 {
+		tr.Members = 5
+	}
+	tr.Seed = seed
+	return tr
+}
+
+func (p *pawsPolicy) PlanSeason(ctx context.Context, obs *sim.Obs, season int, r *rng.RNG) (*sim.SeasonPlan, error) {
+	// The observed record is exactly a waypoint-free history; train on the
+	// effort maps directly.
+	h := &poach.History{
+		Park:         obs.Park,
+		Months:       obs.Months,
+		Effort:       obs.Effort,
+		Observations: obs.Observations,
+	}
+	d, err := dataset.BuildFromEffort(h, dataset.StandardConfig())
+	if err != nil {
+		return nil, err
+	}
+	m, err := TrainCtx(ctx, d.AllPoints(), p.trainOptions(r.Int63()))
+	if err != nil {
+		return nil, err
+	}
+	pm, err := NewPlannerModelCtx(ctx, m, d, len(d.Steps)-1, p.st.workers)
+	if err != nil {
+		return nil, err
+	}
+	// Park-wide risk map at the nominal per-cell effort the sectors will
+	// actually receive, then target the hottest cells: enough of them that
+	// each gets ~simTargetKMPerCell of the budget, weighted by risk.
+	n := obs.Park.Grid.NumCells()
+	risk, err := pm.RiskMapCtx(ctx, simTargetKMPerCell)
+	if err != nil {
+		return nil, err
+	}
+	targets := int(obs.BudgetKM / simTargetKMPerCell)
+	if targets < 1 {
+		targets = 1
+	}
+	if targets > n {
+		targets = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Risk descending, cell id ascending on ties — deterministic.
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := risk[order[a]], risk[order[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	eff := make([]float64, n)
+	for _, cell := range order[:targets] {
+		eff[cell] = risk[cell]
+	}
+	routes, err := p.extractRoutes(ctx, obs, pm)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.SeasonPlan{Effort: eff, Routes: routes}, nil
+}
+
+// extractRoutes turns the plan into the deployable artifact: per patrol
+// post, a Frank-Wolfe solve over the post's neighbourhood followed by route
+// extraction — the patrols rangers would actually walk.
+func (p *pawsPolicy) extractRoutes(ctx context.Context, obs *sim.Obs, pm *PlannerModel) ([][]int, error) {
+	radius, maxCells := p.st.radius, p.st.maxCells
+	if radius <= 0 {
+		radius = simPlanRadius
+	}
+	if maxCells <= 0 {
+		maxCells = simPlanMaxCells
+	}
+	t, k, segments := p.st.horizonT, p.st.horizonK, p.st.segments
+	if t <= 0 {
+		t = simPlanT
+	}
+	if k <= 0 {
+		k = simPlanK
+	}
+	if segments <= 0 {
+		segments = simPlanSegments
+	}
+	cfg := plan.Config{T: t, K: k, Segments: segments, Beta: p.beta, Solver: plan.SolverFrankWolfe, Workers: p.st.workers}
+	type postRoutes struct {
+		region *plan.Region
+		routes []plan.Route
+	}
+	// Per-post solves are independent; fan them out. Aggregation below runs
+	// in post order, so the output is identical for any worker count.
+	plans, err := par.MapErrCtx(ctx, p.st.workers, len(obs.Park.Posts), func(i int) (postRoutes, error) {
+		region, err := plan.NewRegion(obs.Park, obs.Park.Posts[i], radius, maxCells)
+		if err != nil {
+			return postRoutes{}, err
+		}
+		pl, err := plan.Solve(region, pm, cfg)
+		if err != nil {
+			return postRoutes{}, err
+		}
+		routes, err := plan.ExtractRoutes(region, pl.Effort, cfg.T, int(cfg.K))
+		if err != nil {
+			return postRoutes{}, err
+		}
+		return postRoutes{region: region, routes: routes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var routes [][]int
+	for _, pr := range plans {
+		for _, rt := range pr.routes {
+			routes = append(routes, rt.ParkCells(pr.region))
+		}
+	}
+	return routes, nil
+}
