@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"paws/internal/dataset"
+	"paws/internal/job"
 	"paws/internal/plan"
 	"paws/internal/stats"
 )
@@ -542,5 +543,41 @@ func BenchmarkServePredict(b *testing.B) {
 			}
 		}
 		b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
+// BenchmarkJobOverhead measures what the async job layer (internal/job)
+// adds on top of a direct call: the submit → wait → result → remove round
+// trip of a one-shot job (the exact path synchronous /v1/simulate takes
+// through Manager.Run) against invoking the same function inline. The
+// workload is a small fixed compute so the numbers isolate the job
+// machinery itself. Results are recorded in BENCH_jobs.json.
+func BenchmarkJobOverhead(b *testing.B) {
+	work := func() float64 {
+		var s float64
+		for i := 0; i < 4096; i++ {
+			s += float64(i%97) * 1.0000001
+		}
+		return s
+	}
+	want := work()
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if work() != want {
+				b.Fatal("diverged")
+			}
+		}
+	})
+	b.Run("job", func(b *testing.B) {
+		m := job.NewManager(job.Config{Workers: 1})
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			res, err := m.Run(ctx, "bench", func(ctx context.Context, publish func(job.Event)) (any, error) {
+				return work(), nil
+			})
+			if err != nil || res.(float64) != want {
+				b.Fatalf("job run: %v, %v", res, err)
+			}
+		}
 	})
 }

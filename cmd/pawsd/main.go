@@ -1,17 +1,28 @@
 // Command pawsd serves a trained PAWS model over JSON/HTTP: batched
-// detection-probability predictions, park-wide risk maps (LRU-cached) and
-// robust patrol plans.
+// detection-probability predictions, park-wide risk maps (LRU-cached),
+// robust patrol plans, and an async job API for the long-running work
+// (multi-season simulations, remote training, experiment sweeps).
 //
 //	pawsd -train -model mfnp.paws                # train, persist, serve
 //	pawsd -model mfnp.paws                       # serve a persisted model
 //	pawsd -kind DTB-iW -park SWS -scale full …   # pick model and park
+//	pawsd … -job-workers 2 -job-ttl 30m          # tune the job layer
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/models
 //	curl -s -X POST localhost:8080/v1/predict \
 //	     -d '{"model":"default","effort":1.5,"cells":[0,1,2]}'
 //	curl -s 'localhost:8080/v1/riskmap?model=default&effort=2'
 //	curl -s -X POST localhost:8080/v1/plan \
 //	     -d '{"model":"default","post":0,"beta":0.9}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"kind":"simulate","simulate":{"park":"rand:16","seasons":6}}'
+//	curl -sN localhost:8080/v1/jobs/j-000001/events   # NDJSON stream
+//	curl -s localhost:8080/v1/jobs/j-000001/result
+//
+// On SIGINT/SIGTERM the HTTP listener stops first, then the job layer
+// drains: running and queued jobs finish (bounded by -drain), so a
+// graceful restart never abandons accepted work mid-run.
 //
 // The persisted model file stores only the model; the serving context (park
 // features and patrol-coverage covariate) is regenerated deterministically
@@ -52,10 +63,15 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 	cacheSize := flag.Int("cache", 64, "risk-map LRU cache entries (negative disables)")
+	jobWorkers := flag.Int("job-workers", 4, "concurrently running async jobs (negative = one per CPU)")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished job results are retained")
+	jobRetain := flag.Int("job-retain", 64, "max finished jobs retained (oldest evicted first)")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
 	flag.Parse()
 
 	if err := run(*addr, *name, *park, *scaleStr, *kindStr, *modelPath,
-		*seed, *train, *trainYears, *cvFolds, *workers, *timeout, *cacheSize); err != nil {
+		*seed, *train, *trainYears, *cvFolds, *workers, *timeout, *cacheSize,
+		*jobWorkers, *jobTTL, *jobRetain, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "pawsd:", err)
 		os.Exit(1)
 	}
@@ -63,7 +79,8 @@ func main() {
 
 func run(addr, name, park, scaleStr, kindStr, modelPath string,
 	seed int64, train bool, trainYears, cvFolds, workers int,
-	timeout time.Duration, cacheSize int) error {
+	timeout time.Duration, cacheSize int,
+	jobWorkers int, jobTTL time.Duration, jobRetain int, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -134,9 +151,16 @@ func run(addr, name, park, scaleStr, kindStr, modelPath string,
 	}
 	log.Printf("serving model %q (%v, %d park cells) on %s", name, model.Kind, sc.Park.Grid.NumCells(), addr)
 
+	handler := serve.New(svc, serve.Config{
+		RequestTimeout:   timeout,
+		RiskMapCacheSize: cacheSize,
+		JobWorkers:       jobWorkers,
+		JobResultTTL:     jobTTL,
+		JobMaxRetained:   jobRetain,
+	})
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           serve.New(svc, serve.Config{RequestTimeout: timeout, RiskMapCacheSize: cacheSize}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -148,6 +172,21 @@ func run(addr, name, park, scaleStr, kindStr, modelPath string,
 		log.Printf("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		// An open event stream on a running job legitimately outlives the
+		// HTTP shutdown budget (the handler returns when the job ends), so
+		// a Shutdown error must not skip the job drain — jobs are the work
+		// we promised not to abandon.
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v (draining jobs anyway)", err)
+		}
+		// Drain the job layer after the listener stops: running and queued
+		// jobs finish; past the drain budget they are canceled and awaited.
+		log.Printf("draining jobs (budget %s)", drain)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), drain)
+		defer cancelDrain()
+		if err := handler.Close(drainCtx); err != nil {
+			log.Printf("job drain expired: remaining jobs canceled (%v)", err)
+		}
+		return nil
 	}
 }

@@ -1,0 +1,121 @@
+// Jobs: drive the async job API end to end against an in-process pawsd
+// handler — submit a multi-season simulation, stream its typed progress
+// events live (NDJSON), fetch the stored result, and show that it is
+// byte-identical to the blocking /v1/simulate response. This is the
+// workflow the field tests imply: rangers submit a planning run, check
+// progress, and come back for the result — no connection held open.
+//
+//	go run ./examples/jobs
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"paws"
+	"paws/internal/serve"
+)
+
+func main() {
+	// An in-process server: the same handler cmd/pawsd mounts. Simulation
+	// jobs need no registered model (the paws policy trains per season).
+	svc := paws.NewService(paws.WithSeed(7), paws.WithWorkers(0))
+	ts := httptest.NewServer(serve.New(svc, serve.Config{JobWorkers: 2}))
+	defer ts.Close()
+
+	// 1. Submit: a 3-season policy comparison on a procedural park.
+	submit := map[string]any{
+		"kind": "simulate",
+		"simulate": map[string]any{
+			"park":     "rand:16",
+			"seasons":  3,
+			"policies": []string{"uniform", "historical"},
+			"seed":     99,
+		},
+	}
+	body, _ := json.Marshal(submit)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted job %s (state %s)\n", snap.ID, snap.State)
+
+	// 2. Stream progress: NDJSON, one event per line, replayable from any
+	//    sequence number with ?from=N. The stream ends when the job is
+	//    terminal; a dropped connection never cancels the job.
+	events, err := http.Get(ts.URL + "/v1/jobs/" + snap.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		var e struct {
+			Seq     int    `json:"seq"`
+			Stage   string `json:"stage"`
+			Item    string `json:"item"`
+			Current int    `json:"current"`
+			Total   int    `json:"total"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			log.Fatal(err)
+		}
+		switch e.Stage {
+		case "state":
+			fmt.Printf("  [%02d] job is %s\n", e.Seq, e.Item)
+		case "season":
+			fmt.Printf("  [%02d] %-10s season %d/%d\n", e.Seq, e.Item, e.Current, e.Total)
+		default:
+			fmt.Printf("  [%02d] %s %d/%d\n", e.Seq, e.Stage, e.Current, e.Total)
+		}
+	}
+	events.Body.Close()
+
+	// 3. Fetch the retained result.
+	res, err := http.Get(ts.URL + "/v1/jobs/" + snap.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	asyncBody := new(bytes.Buffer)
+	if _, err := asyncBody.ReadFrom(res.Body); err != nil {
+		log.Fatal(err)
+	}
+	res.Body.Close()
+	var report struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(asyncBody.Bytes(), &report); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", report.Text)
+
+	// 4. The async result is byte-identical to the blocking endpoint's
+	//    response for the same park, seed and worker count.
+	simBody, _ := json.Marshal(submit["simulate"])
+	syncResp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(simBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	syncBytes := new(bytes.Buffer)
+	if _, err := syncBytes.ReadFrom(syncResp.Body); err != nil {
+		log.Fatal(err)
+	}
+	syncResp.Body.Close()
+	if bytes.Equal(asyncBody.Bytes(), syncBytes.Bytes()) {
+		fmt.Println("async job result == synchronous /v1/simulate response (byte-identical)")
+	} else {
+		log.Fatal("async and sync responses diverged")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"paws/internal/dataset"
@@ -95,6 +96,9 @@ type Table2Options struct {
 	// GOMAXPROCS). Every cell derives its seed from its grid position, so
 	// the table is identical for any worker count.
 	Workers int
+	// progress observes per-cell sweep completion (WithProgress). Set
+	// through the Service options; observational only.
+	progress ProgressFunc
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -171,6 +175,7 @@ func RunTable2ForScenarioCtx(ctx context.Context, sc *Scenario, name string, opt
 			cells = append(cells, cell{split: split, year: year, kind: kind, seed: o.Seed + int64(yi*100+ki)})
 		}
 	}
+	var done atomic.Int64
 	return par.MapErrCtx(ctx, o.Workers, len(cells), func(i int) (Table2Row, error) {
 		c := cells[i]
 		m, err := TrainCtx(ctx, c.split.Train, TrainOptions{
@@ -185,6 +190,14 @@ func RunTable2ForScenarioCtx(ctx context.Context, sc *Scenario, name string, opt
 		})
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("paws: %s %d %v: %w", name, c.year, c.kind, err)
+		}
+		if o.progress != nil {
+			o.progress(ProgressEvent{
+				Stage:   "cell",
+				Item:    fmt.Sprintf("%s/%d/%v", name, c.year, c.kind),
+				Current: int(done.Add(1)),
+				Total:   len(cells),
+			})
 		}
 		return Table2Row{Park: name, TestYear: c.year, Kind: c.kind, AUC: m.AUC(c.split.Test)}, nil
 	})
@@ -299,13 +312,16 @@ func RunFig6Ctx(ctx context.Context, sc *Scenario, kind ModelKind, testYear, tra
 		return nil, err
 	}
 	out := &Fig6Maps{EffortLevels: []float64{0.5, 1, 2, 3}}
-	for _, e := range out.EffortLevels {
+	for k, e := range out.EffortLevels {
 		risk, unc, err := pm.MapsCtx(ctx, e)
 		if err != nil {
 			return nil, err
 		}
 		out.Risk = append(out.Risk, risk)
 		out.Uncertainty = append(out.Uncertainty, unc)
+		if opts.progress != nil {
+			opts.progress(ProgressEvent{Stage: "map", Current: k + 1, Total: len(out.EffortLevels)})
+		}
 	}
 	// Historical context: effort and activity summed over the train years.
 	n := sc.Park.Grid.NumCells()
@@ -705,6 +721,9 @@ func RunTable3ForScenarioCtx(ctx context.Context, sc *Scenario, name string, blo
 			Park:   name,
 			Result: res,
 		})
+		if opts.Train.progress != nil {
+			opts.Train.progress(ProgressEvent{Stage: "trial", Item: name, Current: i + 1, Total: len(trialMonths)})
+		}
 		startMonth += months
 	}
 	return trials, nil

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"paws/internal/ml"
 	"paws/internal/par"
@@ -59,6 +60,11 @@ type Config struct {
 	// semantics: 1 is sequential, ≤ 0 means GOMAXPROCS). Seeds are derived
 	// before fan-out, so results are identical for any worker count.
 	Workers int
+	// Progress, when non-nil, is invoked after each weak-learner fit of the
+	// final ladder refit with (fitted so far, ladder size). It may be
+	// called concurrently from worker goroutines and must not affect the
+	// computation; it is excluded from the persisted model state.
+	Progress func(done, total int)
 }
 
 // Model is a fitted iWare-E ensemble.
@@ -117,6 +123,7 @@ func FitCtx(ctx context.Context, X [][]float64, y []int, efforts []float64, cfg 
 	// result identical to a sequential run.
 	seeds := par.SeedsFrom(rng.New(cfg.Seed), len(thresholds))
 	m.classifiers = make([]ml.Classifier, len(thresholds))
+	var fitted atomic.Int64
 	err := par.ForEachErrCtx(ctx, cfg.Workers, len(thresholds), func(i int) error {
 		th := thresholds[i]
 		idx := filterIndices(y, efforts, th)
@@ -126,11 +133,18 @@ func FitCtx(ctx context.Context, X [][]float64, y []int, efforts []float64, cfg 
 			return fmt.Errorf("iware: classifier %d (θ=%.3f): %w", i, th, err)
 		}
 		m.classifiers[i] = c
+		if cfg.Progress != nil {
+			cfg.Progress(int(fitted.Add(1)), len(thresholds))
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// The hook's job is done; drop it so a long-lived fitted model never
+	// pins whatever the callback closed over (e.g. an async train job's
+	// event stream). It is excluded from persistence anyway.
+	m.cfg.Progress = nil
 	return m, nil
 }
 

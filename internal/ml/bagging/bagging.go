@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"paws/internal/ml"
 	"paws/internal/par"
@@ -40,9 +41,12 @@ type Config struct {
 
 // Ensemble is a fitted bagging classifier.
 type Ensemble struct {
-	cfg     Config
-	base    ml.Factory
-	members []ml.Classifier
+	cfg  Config
+	base ml.Factory
+	// progress, when non-nil, observes member-fit completion (OnMemberFit).
+	// Kept off Config so the gob-encoded state never sees a func field.
+	progress func(done, total int)
+	members  []ml.Classifier
 	// inBag[b][i] counts how many times training row i entered bag b
 	// (needed by the infinitesimal jackknife).
 	inBag  [][]int
@@ -64,6 +68,12 @@ func New(base ml.Factory, cfg Config) *Ensemble {
 	}
 	return &Ensemble{cfg: cfg, base: base}
 }
+
+// OnMemberFit registers a callback invoked after each member fit with
+// (members fitted so far, ensemble size). It may be called concurrently
+// from worker goroutines; it never affects the fitted state and does not
+// survive persistence. A nil callback disables reporting.
+func (e *Ensemble) OnMemberFit(fn func(done, total int)) { e.progress = fn }
 
 // Fit trains all members on bootstrap resamples of (X, y).
 func (e *Ensemble) Fit(X [][]float64, y []int) error {
@@ -109,6 +119,7 @@ func (e *Ensemble) FitCtx(ctx context.Context, X [][]float64, y []int) error {
 	}
 	members := make([]ml.Classifier, e.cfg.Members)
 	inBag := make([][]int, e.cfg.Members)
+	var fitted atomic.Int64
 	err := par.ForEachErrCtx(ctx, e.cfg.Workers, e.cfg.Members, func(b int) error {
 		idx := bags[b]
 		counts := make([]int, len(X))
@@ -122,6 +133,9 @@ func (e *Ensemble) FitCtx(ctx context.Context, X [][]float64, y []int) error {
 		}
 		members[b] = m
 		inBag[b] = counts
+		if e.progress != nil {
+			e.progress(int(fitted.Add(1)), e.cfg.Members)
+		}
 		return nil
 	})
 	if err != nil {
@@ -129,6 +143,10 @@ func (e *Ensemble) FitCtx(ctx context.Context, X [][]float64, y []int) error {
 	}
 	e.members = members
 	e.inBag = inBag
+	// The hook's job is done; drop it so a long-lived fitted ensemble never
+	// pins whatever the callback closed over (e.g. an async train job's
+	// event stream).
+	e.progress = nil
 	return nil
 }
 

@@ -11,13 +11,39 @@
 //	POST /v1/simulate  — a closed-loop multi-season policy comparison
 //	                     (Service.Simulate): PAWS vs baselines against a
 //	                     responsive poacher
+//	GET /v1/models     — discovery: the registered models and their serving
+//	                     context (kind, park, feature width, generation)
 //	GET /healthz       — liveness plus the registered model names
+//
+// # Async jobs
+//
+// The long-running half of the API is job-based (internal/job): instead of
+// holding a connection open for minutes, clients submit work, watch a
+// typed progress-event stream, and fetch the result when it is ready:
+//
+//	POST   /v1/jobs             — submit (kinds: simulate, train, table2,
+//	                              riskmap); returns the job snapshot
+//	GET    /v1/jobs             — list retained jobs
+//	GET    /v1/jobs/{id}        — job snapshot (state, timestamps, error)
+//	GET    /v1/jobs/{id}/events — NDJSON progress stream, replayable via
+//	                              ?from=N, safe on client disconnect
+//	GET    /v1/jobs/{id}/result — the result, byte-identical to the
+//	                              synchronous endpoint's response
+//	DELETE /v1/jobs/{id}        — cancel (queued or running)
+//
+// A completed train job registers its model into the Service registry, so
+// remote train→serve works over plain HTTP. The synchronous /v1/simulate
+// endpoint is a thin wrapper over a one-shot job (Manager.Run), so both
+// paths share one compute implementation and the same concurrency bound.
 //
 // Every request runs under the request context, optionally bounded by
 // Config.RequestTimeout and per-request timeout_ms: deadlines reach
 // mid-sweep into batch prediction and map generation (see internal/par), so
 // an expired request aborts early with 504 instead of burning the worker
-// pool on an answer nobody is waiting for.
+// pool on an answer nobody is waiting for. Errors use a structured
+// envelope, {"error": {"code": …, "message": …}}, with machine-readable
+// codes (bad_request, unknown_model, unknown_job, deadline, canceled,
+// conflict, shutting_down).
 package serve
 
 import (
@@ -31,6 +57,7 @@ import (
 	"time"
 
 	"paws"
+	"paws/internal/job"
 	"paws/internal/sim"
 )
 
@@ -38,10 +65,23 @@ import (
 type Config struct {
 	// RequestTimeout bounds every request's context (0 = unbounded).
 	// Requests may tighten it further with "timeout_ms" but never widen it.
+	// Async job submissions are exempt: a job outlives its submit request
+	// by design (bound one with its own timeout_ms instead).
 	RequestTimeout time.Duration
 	// RiskMapCacheSize bounds the riskmap LRU (default 64; negative
 	// disables caching).
 	RiskMapCacheSize int
+	// JobWorkers bounds concurrently *running* jobs, including the one-shot
+	// jobs behind synchronous /v1/simulate. 0 selects the default of 4;
+	// negative means one slot per available CPU (par.Workers semantics).
+	// Excess jobs queue FIFO.
+	JobWorkers int
+	// JobResultTTL bounds how long finished job results are retained
+	// (default 15m; negative disables TTL eviction).
+	JobResultTTL time.Duration
+	// JobMaxRetained bounds how many finished jobs are retained (default
+	// 64; the oldest-finished evict first).
+	JobMaxRetained int
 }
 
 // Server is the HTTP layer over a paws.Service. It is an http.Handler.
@@ -50,6 +90,7 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	cache *lruCache
+	jobs  *job.Manager
 }
 
 // New builds a Server over a Service whose models are already registered
@@ -59,18 +100,44 @@ func New(svc *paws.Service, cfg Config) *Server {
 	if cfg.RiskMapCacheSize == 0 {
 		cfg.RiskMapCacheSize = 64
 	}
-	s := &Server{svc: svc, cfg: cfg, mux: http.NewServeMux(), cache: newLRU(cfg.RiskMapCacheSize)}
+	if cfg.JobWorkers == 0 {
+		cfg.JobWorkers = 4
+	}
+	s := &Server{
+		svc:   svc,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: newLRU(cfg.RiskMapCacheSize),
+		jobs: job.NewManager(job.Config{
+			Workers:     cfg.JobWorkers,
+			ResultTTL:   cfg.JobResultTTL,
+			MaxRetained: cfg.JobMaxRetained,
+		}),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/riskmap", s.handleRiskMap)
 	s.mux.HandleFunc("POST /v1/riskmap", s.handleRiskMap)
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the job layer: submissions stop, queued and running jobs
+// finish (or, once ctx expires, are canceled and awaited). Call it after
+// http.Server.Shutdown so a graceful pawsd exit never abandons work
+// mid-run.
+func (s *Server) Close(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
 
 // requestCtx applies the server-wide and per-request deadlines.
 func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
@@ -87,9 +154,27 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, co
 	return ctx, cancel
 }
 
-// errorResponse is the uniform error body.
+// Machine-readable error codes of the structured error envelope. Clients
+// branch on Code; Message is for humans and carries no stability promise.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeUnknownModel = "unknown_model"
+	CodeUnknownJob   = "unknown_job"
+	CodeDeadline     = "deadline"
+	CodeCanceled     = "canceled"
+	CodeConflict     = "conflict"
+	CodeShuttingDown = "shutting_down"
+)
+
+// ErrorDetail is the structured payload of every non-2xx response.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse is the uniform error body: {"error":{"code":…,"message":…}}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
 // writeJSON encodes v with a status code.
@@ -99,20 +184,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps an error to its transport status: unknown model → 404,
-// deadline → 504, client-gone → 499 (nginx convention), anything else the
+// errorStatus classifies an error into its transport status and envelope
+// code: unknown model/job → 404, deadline → 504, canceled → 499 (nginx
+// convention), result not ready → 409, draining → 503, anything else the
 // service rejected → 400.
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+func errorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, paws.ErrUnknownModel):
-		status = http.StatusNotFound
+		return http.StatusNotFound, CodeUnknownModel
+	case errors.Is(err, job.ErrUnknownJob):
+		return http.StatusNotFound, CodeUnknownJob
+	case errors.Is(err, job.ErrNotFinished):
+		return http.StatusConflict, CodeConflict
+	case errors.Is(err, job.ErrShuttingDown):
+		return http.StatusServiceUnavailable, CodeShuttingDown
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, CodeDeadline
 	case errors.Is(err, context.Canceled):
-		status = 499
+		return 499, CodeCanceled
+	default:
+		return http.StatusBadRequest, CodeBadRequest
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeErr renders an error as the structured envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeJSON(w, status, errorResponse{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
 // decodeBody strictly decodes a JSON request body into v.
@@ -130,10 +228,48 @@ func decodeBody(r *http.Request, v any) error {
 type healthResponse struct {
 	Status string   `json:"status"`
 	Models []string `json:"models"`
+	// Jobs is the number of queued or running async jobs.
+	Jobs int `json:"jobs"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Models: s.svc.ModelNames()})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Models: s.svc.ModelNames(), Jobs: s.jobs.Active()})
+}
+
+// ------------------------------------------------------------- /v1/models
+
+// ModelInfo describes one registered model: what it is and the serving
+// context it answers queries against.
+type ModelInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Park is the spec of the park the model serves ("MFNP", "rand-16", …).
+	Park  string `json:"park"`
+	Cells int    `json:"cells"`
+	// FeatureDim is the feature-vector width /v1/predict expects.
+	FeatureDim int `json:"feature_dim"`
+	// Generation is the registry registration number (bumps when a name is
+	// re-registered); cache keys should include it.
+	Generation uint64 `json:"generation"`
+}
+
+type modelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := modelsResponse{Models: []ModelInfo{}}
+	for _, sm := range s.svc.ServedModels() {
+		resp.Models = append(resp.Models, ModelInfo{
+			Name:       sm.Name,
+			Kind:       sm.Model.Kind.String(),
+			Park:       sm.Park().Name,
+			Cells:      sm.Park().Grid.NumCells(),
+			FeatureDim: sm.FeatureDim(),
+			Generation: sm.Generation(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ------------------------------------------------------------- /v1/predict
@@ -254,17 +390,40 @@ func (s *Server) handleRiskMap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := s.computeRiskMap(ctx, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkRiskMap validates a riskmap request, fills defaults and resolves
+// the model — shared by the synchronous endpoint and the riskmap job
+// kind's submit-time validation.
+func (s *Server) checkRiskMap(req RiskMapRequest) (RiskMapRequest, *paws.ServedModel, error) {
 	if req.Model == "" {
 		req.Model = "default"
 	}
 	if req.Effort <= 0 || math.IsNaN(req.Effort) || math.IsInf(req.Effort, 0) {
-		writeErr(w, fmt.Errorf("effort %v must be a positive finite number", req.Effort))
-		return
+		return req, nil, fmt.Errorf("effort %v must be a positive finite number", req.Effort)
 	}
 	sm, ok := s.svc.Served(req.Model)
 	if !ok {
-		writeErr(w, fmt.Errorf("%w %q", paws.ErrUnknownModel, req.Model))
-		return
+		return req, nil, fmt.Errorf("%w %q", paws.ErrUnknownModel, req.Model)
+	}
+	return req, sm, nil
+}
+
+// computeRiskMap validates a riskmap request and answers it through the
+// LRU — the single compute path shared by the synchronous endpoint and the
+// riskmap job kind.
+func (s *Server) computeRiskMap(ctx context.Context, req RiskMapRequest) (RiskMapResponse, error) {
+	req, sm, err := s.checkRiskMap(req)
+	if err != nil {
+		return RiskMapResponse{}, err
 	}
 	// The cache key pins the model *instance* via its registration
 	// generation (re-registering a name bumps it, so stale maps are never
@@ -274,15 +433,11 @@ func (s *Server) handleRiskMap(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.cache.get(key); ok {
 		resp := v.(RiskMapResponse)
 		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, nil
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
 	risk, unc, err := s.svc.RiskMaps(ctx, req.Model, req.Effort)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return RiskMapResponse{}, err
 	}
 	grid := sm.Park().Grid
 	resp := RiskMapResponse{
@@ -295,7 +450,7 @@ func (s *Server) handleRiskMap(w http.ResponseWriter, r *http.Request) {
 		Uncertainty: unc,
 	}
 	s.cache.add(key, resp)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // ---------------------------------------------------------------- /v1/plan
@@ -346,8 +501,12 @@ type SimulateRequest struct {
 	// Beta is the paws policy's robustness weight (default 0.9).
 	Beta float64 `json:"beta,omitempty"`
 	// BudgetKM overrides the per-month patrol budget.
-	BudgetKM  float64 `json:"budget_km,omitempty"`
-	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	BudgetKM float64 `json:"budget_km,omitempty"`
+	// Seed overrides the service-wide root seed (0 keeps the default). The
+	// same park, seed and worker count reproduce the report byte for byte,
+	// whether run synchronously or as a job.
+	Seed      int64 `json:"seed,omitempty"`
+	TimeoutMS int   `json:"timeout_ms,omitempty"`
 }
 
 // SimulateResponse is the simulation report: per-policy season logs plus the
@@ -365,30 +524,29 @@ const (
 	maxSimPolicies     = 8
 )
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req SimulateRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
+// simulateFn validates a simulate request and lowers it to a job function
+// — the single compute path behind both POST /v1/simulate (a one-shot job
+// the handler waits on) and the "simulate" job kind. Progress events flow
+// from inside the season loop (and the paws policy's per-season training)
+// into the job's event stream.
+func (s *Server) simulateFn(req SimulateRequest) (job.Fn, error) {
 	if req.Seasons > maxSimSeasons {
-		writeErr(w, fmt.Errorf("seasons %d exceeds the limit of %d", req.Seasons, maxSimSeasons))
-		return
+		return nil, fmt.Errorf("seasons %d exceeds the limit of %d", req.Seasons, maxSimSeasons)
 	}
 	if req.SeasonMonths > maxSimSeasonMonths {
-		writeErr(w, fmt.Errorf("season_months %d exceeds the limit of %d", req.SeasonMonths, maxSimSeasonMonths))
-		return
+		return nil, fmt.Errorf("season_months %d exceeds the limit of %d", req.SeasonMonths, maxSimSeasonMonths)
 	}
 	if len(req.Policies) > maxSimPolicies {
-		writeErr(w, fmt.Errorf("%d policies exceed the limit of %d", len(req.Policies), maxSimPolicies))
-		return
+		return nil, fmt.Errorf("%d policies exceed the limit of %d", len(req.Policies), maxSimPolicies)
 	}
 	if req.Beta < 0 || req.Beta > 1 || math.IsNaN(req.Beta) {
-		writeErr(w, fmt.Errorf("beta %v out of range [0, 1]", req.Beta))
-		return
+		return nil, fmt.Errorf("beta %v out of range [0, 1]", req.Beta)
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
+	if req.Park != "" {
+		if err := paws.ValidateParkSpec(req.Park); err != nil {
+			return nil, err
+		}
+	}
 	cfg := paws.SimConfig{
 		Park:         req.Park,
 		Seasons:      req.Seasons,
@@ -398,12 +556,40 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		BudgetKM:     req.BudgetKM,
 	}
 	cfg.Attacker.Kind = req.Attacker
-	rep, err := s.svc.Simulate(ctx, cfg)
+	return func(ctx context.Context, publish func(job.Event)) (any, error) {
+		opts := []paws.Option{paws.WithProgress(progressPublisher(publish))}
+		if req.Seed != 0 {
+			opts = append(opts, paws.WithSeed(req.Seed))
+		}
+		rep, err := s.svc.Simulate(ctx, cfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return SimulateResponse{Report: rep, Text: rep.Format()}, nil
+	}, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	fn, err := s.simulateFn(req)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{Report: rep, Text: rep.Format()})
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	// One-shot job: same compute path and concurrency bound as the async
+	// kind, result discarded after the response is written.
+	resp, err := s.jobs.Run(ctx, "simulate", fn)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {

@@ -112,6 +112,11 @@ type Config struct {
 	// Workers bounds the goroutines policies fan out over (par.Workers
 	// semantics). The report is byte-identical for any worker count.
 	Workers int
+	// Progress, when non-nil, is invoked after each policy finishes a
+	// season with (policy name, seasons finished, total seasons). Policies
+	// run concurrently, so the callback must be safe for concurrent use; it
+	// is observational only and never affects the report.
+	Progress func(policy string, season, seasons int)
 }
 
 // withDefaults validates and fills cfg.
@@ -297,6 +302,9 @@ func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (
 		res.Snares += st.Snares
 		res.Detections += st.Detections
 		res.Displaced += st.Displaced
+		if cfg.Progress != nil {
+			cfg.Progress(p.Name(), s+1, cfg.Seasons)
+		}
 	}
 	return res, nil
 }

@@ -23,6 +23,10 @@ type settings struct {
 
 	seed int64
 
+	// progress observes ProgressEvents from the compute layers
+	// (WithProgress); nil disables reporting.
+	progress ProgressFunc
+
 	// Training.
 	kind       ModelKind
 	kindSet    bool
@@ -209,6 +213,7 @@ func (s settings) trainOptions() TrainOptions {
 		TreeDepth:              s.treeDepth,
 		Seed:                   s.seed,
 		Workers:                s.workers,
+		progress:               s.progress,
 	}
 }
 
@@ -230,6 +235,7 @@ func (s settings) table2Options() Table2Options {
 		Balanced:   s.balanced,
 		Seed:       s.seed,
 		Workers:    s.workers,
+		progress:   s.progress,
 	}
 }
 

@@ -251,6 +251,10 @@ type TrainOptions struct {
 	// uses one worker per CPU, i.e. GOMAXPROCS). Training and prediction
 	// results are byte-identical for every worker count.
 	Workers int
+	// progress observes per-weak-learner fit completion (WithProgress).
+	// Unexported deliberately: the field is set through the Service options
+	// and must stay out of the gob-encoded model envelope (persist.go).
+	progress ProgressFunc
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -341,10 +345,18 @@ func TrainCtx(ctx context.Context, train []dataset.Point, opts TrainOptions) (*M
 		y[i] = p.Label
 		eff[i] = p.Effort
 	}
-	m := &Model{Kind: o.Kind, opts: o, numFeatures: len(X[0])}
+	// The stored options must not retain the progress closure: a Model can
+	// live for the process lifetime in a Service registry, and the closure
+	// would pin its train job's event log and request. Nothing on the
+	// predict path reports progress.
+	stored := o
+	stored.progress = nil
+	m := &Model{Kind: o.Kind, opts: stored, numFeatures: len(X[0])}
 	factory := weakLearnerFactory(o.Kind, o, len(X[0]))
 	if !o.Kind.IsIWare() {
+		// Plain kinds: the weak learners are the bagging members.
 		ens := factory(o.Seed).(*bagging.Ensemble)
+		ens.OnMemberFit(progressCounter(o.progress, "train"))
 		if err := ens.FitCtx(ctx, X, y); err != nil {
 			return nil, trainErr(o.Kind, err)
 		}
@@ -358,6 +370,8 @@ func TrainCtx(ctx context.Context, train []dataset.Point, opts TrainOptions) (*M
 		CVFolds:     o.CVFolds,
 		Seed:        o.Seed,
 		Workers:     o.Workers,
+		// iWare-E kinds: the weak learners are the ladder slices.
+		Progress: progressCounter(o.progress, "train"),
 	})
 	if err != nil {
 		return nil, trainErr(o.Kind, err)
@@ -409,11 +423,14 @@ func TrainWithThresholdsCtx(ctx context.Context, train []dataset.Point, threshol
 		CVFolds:     o.CVFolds,
 		Seed:        o.Seed,
 		Workers:     o.Workers,
+		Progress:    progressCounter(o.progress, "train"),
 	})
 	if err != nil {
 		return nil, trainErr(o.Kind, err)
 	}
-	return &Model{Kind: o.Kind, opts: o, numFeatures: len(X[0]), iw: iw}, nil
+	stored := o
+	stored.progress = nil // see TrainCtx: a Model must not pin its train job
+	return &Model{Kind: o.Kind, opts: stored, numFeatures: len(X[0]), iw: iw}, nil
 }
 
 // PredictForEffort returns the detection probability for a feature vector at

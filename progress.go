@@ -1,0 +1,56 @@
+package paws
+
+// ProgressEvent is one typed progress report from inside the compute
+// layers. The long-running entry points emit them through the WithProgress
+// option — from where the work actually happens, not bolted on outside:
+//
+//   - Service.Simulate: Stage "season", Item = policy name, Current =
+//     seasons finished for that policy (1-based), Total = seasons.
+//   - Service.Train (and every runner that trains a model): Stage "train",
+//     Current = weak learners fitted so far, Total = weak learners overall
+//     (iWare-E ladder slices, or bagging members for plain kinds).
+//   - Service.Table2: Stage "cell", Item = "park/year/kind", Current =
+//     grid cells finished, Total = cells in the sweep.
+//   - Service.Fig6: Stage "map", Current = effort levels evaluated.
+//   - Service.Table3: Stage "trial", Current = field trials finished.
+//
+// Events are operational telemetry only: they never influence the
+// computation, so results remain byte-identical with or without a
+// progress callback (asserted by TestProgressDoesNotChangeResults).
+type ProgressEvent struct {
+	// Stage names the pipeline stage emitting the event.
+	Stage string `json:"stage"`
+	// Item optionally identifies the unit of work (policy, grid cell).
+	Item string `json:"item,omitempty"`
+	// Current counts completed units; Total is the known unit count.
+	// Current values arrive monotonically per (Stage, Item) but may be
+	// observed out of order across concurrent workers.
+	Current int `json:"current,omitempty"`
+	Total   int `json:"total,omitempty"`
+}
+
+// ProgressFunc observes ProgressEvents. Callbacks are invoked from worker
+// goroutines while the computation is in flight, possibly concurrently, so
+// implementations must be safe for concurrent use and should return
+// quickly (slow callbacks stall the worker that fired them).
+type ProgressFunc func(ProgressEvent)
+
+// WithProgress registers a progress callback for the long-running entry
+// points (Simulate, Train, Table2, Fig6, Table3, and every runner that
+// trains models through the merged options). A nil callback disables
+// reporting. The callback is observational only — results are
+// byte-identical with or without it.
+func WithProgress(fn ProgressFunc) Option {
+	return func(s *settings) { s.progress = fn }
+}
+
+// progressCounter adapts the internal per-weak-learner hooks (plain
+// (done, total) int pairs) to a ProgressFunc, tagging them with a stage.
+func progressCounter(fn ProgressFunc, stage string) func(done, total int) {
+	if fn == nil {
+		return nil
+	}
+	return func(done, total int) {
+		fn(ProgressEvent{Stage: stage, Current: done, Total: total})
+	}
+}

@@ -1,0 +1,156 @@
+package paws
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// collector is a concurrency-safe ProgressFunc for tests.
+type collector struct {
+	mu     sync.Mutex
+	events []ProgressEvent
+}
+
+func (c *collector) fn(e ProgressEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collector) byStage(stage string) []ProgressEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ProgressEvent
+	for _, e := range c.events {
+		if e.Stage == stage {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestWithProgressTrainPerWeakLearner(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithWorkers(2), WithSeed(7), WithThresholds(4), WithEnsembleSize(3), WithTreeDepth(5))
+	sc, err := svc.Scenario(ctx, "rand:21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iWare-E kind: one event per ladder slice.
+	var c collector
+	if _, err := svc.Train(ctx, split.Train, WithKind(DTBiW), WithProgress(c.fn)); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.byStage("train")
+	if len(evs) != 4 {
+		t.Fatalf("iWare train emitted %d events, want 4 (ladder size): %+v", len(evs), evs)
+	}
+	maxCur := 0
+	for _, e := range evs {
+		if e.Total != 4 {
+			t.Fatalf("event total %d, want 4: %+v", e.Total, e)
+		}
+		if e.Current > maxCur {
+			maxCur = e.Current
+		}
+	}
+	if maxCur != 4 {
+		t.Fatalf("max current %d, want 4", maxCur)
+	}
+	// Plain kind: one event per bagging member.
+	var p collector
+	if _, err := svc.Train(ctx, split.Train, WithKind(DTB), WithProgress(p.fn)); err != nil {
+		t.Fatal(err)
+	}
+	if evs := p.byStage("train"); len(evs) != 3 {
+		t.Fatalf("plain train emitted %d events, want 3 (members): %+v", len(evs), evs)
+	}
+}
+
+func TestWithProgressSimulatePerSeason(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithWorkers(2), WithSeed(5))
+	var c collector
+	rep, err := svc.Simulate(ctx, SimConfig{
+		Park:     "rand:16",
+		Seasons:  2,
+		Policies: []string{"uniform", "historical"},
+	}, WithProgress(c.fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seasons != 2 {
+		t.Fatalf("report seasons %d", rep.Seasons)
+	}
+	evs := c.byStage("season")
+	perPolicy := map[string][]int{}
+	for _, e := range evs {
+		if e.Total != 2 {
+			t.Fatalf("season event total %d, want 2: %+v", e.Total, e)
+		}
+		perPolicy[e.Item] = append(perPolicy[e.Item], e.Current)
+	}
+	for _, policy := range []string{"uniform", "historical"} {
+		got := perPolicy[policy]
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("policy %s season events %v, want [1 2]", policy, got)
+		}
+	}
+}
+
+// TestProgressDoesNotChangeResults is the observational contract: the same
+// computation with and without a progress callback returns byte-identical
+// results.
+func TestProgressDoesNotChangeResults(t *testing.T) {
+	ctx := context.Background()
+	cfg := SimConfig{Park: "rand:16", Seasons: 2, Policies: []string{"uniform", "historical"}}
+	quiet := NewService(WithWorkers(4), WithSeed(9))
+	baseline, err := quiet.Simulate(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	noisy := NewService(WithWorkers(4), WithSeed(9), WithProgress(c.fn))
+	observed, err := noisy.Simulate(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(baseline)
+	b, _ := json.Marshal(observed)
+	if string(a) != string(b) {
+		t.Fatalf("progress callback changed the report:\nwithout: %s\nwith:    %s", a, b)
+	}
+	if len(c.byStage("season")) == 0 {
+		t.Fatal("no season events observed")
+	}
+}
+
+func TestWithProgressTable2PerCell(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithWorkers(2), WithSeed(7), WithThresholds(3), WithEnsembleSize(3), WithTreeDepth(5))
+	sc, err := svc.Scenario(ctx, "rand:21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	rows, err := svc.Table2(ctx, sc, "rand:21", WithKinds(DTB, DTBiW), WithProgress(c.fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := c.byStage("cell")
+	if len(evs) != len(rows) {
+		t.Fatalf("%d cell events for %d rows", len(evs), len(rows))
+	}
+	for _, e := range evs {
+		if e.Total != len(rows) || e.Item == "" {
+			t.Fatalf("bad cell event %+v", e)
+		}
+	}
+}

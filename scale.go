@@ -59,6 +59,14 @@ func specConfigs(name string, seed int64) (geo.ParkConfig, poach.SimConfig, erro
 	return geo.ParkConfig{}, poach.SimConfig{}, fmt.Errorf("paws: unknown park spec %q (want %s)", name, geo.SpecHelp)
 }
 
+// ValidateParkSpec checks that name is a known park preset (MFNP, QENP,
+// SWS) or a well-formed procedural "rand:<seed>" spec, without generating
+// anything — the submit-time validation surface of the async job API.
+func ValidateParkSpec(name string) error {
+	_, _, err := specConfigs(name, 0)
+	return err
+}
+
 // resolveConfigs is specConfigs honouring the scale: presets have reduced
 // ScaleSmall variants, while procedural parks are already modest and ignore
 // the scale.

@@ -223,6 +223,19 @@ func (s *Service) Served(name string) (*ServedModel, bool) {
 	return sm, ok
 }
 
+// ServedModels lists the registered model entries sorted by name — the
+// discovery surface behind GET /v1/models.
+func (s *Service) ServedModels() []*ServedModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*ServedModel, 0, len(s.models))
+	for _, sm := range s.models {
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
 // ModelNames lists the registered model names, sorted.
 func (s *Service) ModelNames() []string {
 	s.mu.RLock()

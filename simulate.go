@@ -100,6 +100,12 @@ func (s *Service) Simulate(ctx context.Context, cfg SimConfig, opts ...Option) (
 		}
 		policies[i] = p
 	}
+	var progress func(policy string, season, seasons int)
+	if pf := st.progress; pf != nil {
+		progress = func(policy string, season, seasons int) {
+			pf(ProgressEvent{Stage: "season", Item: policy, Current: season, Total: seasons})
+		}
+	}
 	return sim.Run(ctx, sim.Config{
 		Park:            park,
 		Sim:             simCfg,
@@ -109,6 +115,7 @@ func (s *Service) Simulate(ctx context.Context, cfg SimConfig, opts ...Option) (
 		BootstrapMonths: cfg.BootstrapMonths,
 		BudgetKM:        cfg.BudgetKM,
 		Workers:         st.workers,
+		Progress:        progress,
 	}, policies)
 }
 
