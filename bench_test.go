@@ -581,3 +581,27 @@ func BenchmarkJobOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkCampaignCell measures one campaign grid cell end to end through
+// Service.Campaign — a single (park, seed, seasons) closed-loop comparison
+// of the paws policy against uniform on a small procedural park, plus the
+// campaign layer's grid bookkeeping, job fan-out and paired aggregation.
+// This is the unit of work campaigns scale by (parks × seeds × season
+// counts); results are recorded in BENCH_campaign.json.
+func BenchmarkCampaignCell(b *testing.B) {
+	svc := NewService(WithWorkers(0), WithScale(ScaleSmall))
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rep, err := svc.Campaign(context.Background(), CampaignConfig{
+			Parks:        []string{"rand:16"},
+			Policies:     []string{"paws", "uniform"},
+			Seeds:        []int64{1},
+			SeasonCounts: []int{1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = rep.Summaries[0].Deltas[0].Mean
+	}
+	b.ReportMetric(mean, "mean-delta")
+}

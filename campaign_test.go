@@ -1,0 +1,191 @@
+package paws
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"paws/internal/campaign"
+)
+
+// acceptanceCampaign is the PR acceptance grid: 2 parks × 3 policies ×
+// 3 replicate seeds (one season count), the smallest campaign the paper's
+// Table III-style conclusion can be drawn from.
+func acceptanceCampaign() CampaignConfig {
+	return CampaignConfig{
+		Parks:        []string{"rand:16", "rand:8"},
+		Policies:     []string{"paws", "uniform", "historical"},
+		Seeds:        []int64{1, 2, 3},
+		SeasonCounts: []int{1},
+	}
+}
+
+// TestCampaignAcceptance is the tentpole acceptance test. One campaign over
+// 2 parks × 3 policies × 3 seeds must satisfy, in a single run:
+//
+//	(a) the aggregated report is byte-identical for workers 1, 4 and 8;
+//	(b) every paired per-seed delta equals the difference of the
+//	    corresponding single-policy Simulate runs under the same CRN seed;
+//	(c) the paws policy's mean detections beat uniform with a positive 95%
+//	    bootstrap CI lower bound on at least one park.
+func TestCampaignAcceptance(t *testing.T) {
+	ctx := context.Background()
+	cfg := acceptanceCampaign()
+
+	// (a) byte-identical across worker counts.
+	var rep *campaign.Report
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		svc := NewService(WithScale(ScaleSmall), WithWorkers(workers))
+		r, err := svc.Campaign(ctx, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			rep, want = r, got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("campaign report differs between workers=1 and workers=%d", workers)
+		}
+	}
+	if len(rep.Cells) != 6 || len(rep.Summaries) != 2 {
+		t.Fatalf("grid shape: %d cells, %d summaries", len(rep.Cells), len(rep.Summaries))
+	}
+
+	// (b) CRN pairing: the campaign's per-seed paws−uniform deltas must
+	// equal the difference of two single-policy Simulate runs at the same
+	// seed — the campaign adds aggregation, never different randomness.
+	svc := NewService(WithScale(ScaleSmall), WithWorkers(0))
+	park := rep.Summaries[0]
+	if park.Park != "rand:16" {
+		t.Fatalf("first summary is %q", park.Park)
+	}
+	var delta *campaign.Delta
+	for i := range park.Deltas {
+		if park.Deltas[i].Policy == "paws" {
+			delta = &park.Deltas[i]
+		}
+	}
+	if delta == nil || delta.Baseline != "uniform" {
+		t.Fatalf("missing paws-vs-uniform delta: %+v", park.Deltas)
+	}
+	for i, seed := range cfg.Seeds {
+		var single [2]int
+		for j, policy := range []string{"paws", "uniform"} {
+			r, err := svc.Simulate(ctx, SimConfig{
+				Park:     "rand:16",
+				Seasons:  cfg.SeasonCounts[0],
+				Policies: []string{policy},
+			}, WithSeed(seed))
+			if err != nil {
+				t.Fatalf("single %s seed %d: %v", policy, seed, err)
+			}
+			single[j] = r.Policies[0].Detections
+		}
+		if got, want := delta.PerCell[i], float64(single[0]-single[1]); got != want {
+			t.Errorf("seed %d: campaign paired delta %v, single-run difference %v", seed, got, want)
+		}
+	}
+
+	// (c) paws beats uniform with a positive bootstrap CI lower bound on at
+	// least one park.
+	beats := 0
+	for _, s := range rep.Summaries {
+		for _, d := range s.Deltas {
+			if d.Policy != "paws" {
+				continue
+			}
+			t.Logf("%s: paws−uniform mean %+.2f, 95%% CI [%+.2f, %+.2f], wins %d/%d",
+				s.Park, d.Mean, d.CILow, d.CIHigh, d.Wins, len(d.PerCell))
+			if d.Mean > 0 && d.CILow > 0 {
+				beats++
+			}
+		}
+	}
+	if beats == 0 {
+		t.Fatal("paws does not beat uniform with a positive CI lower bound on any park")
+	}
+}
+
+// TestCampaignDefaultsAndValidation: zero-value defaults resolve, and
+// malformed configs are rejected before any simulation runs.
+func TestCampaignDefaultsAndValidation(t *testing.T) {
+	svc := NewService(WithScale(ScaleSmall))
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		mutate func(*CampaignConfig)
+	}{
+		{"unknown park", func(c *CampaignConfig) { c.Parks = []string{"ATLANTIS"} }},
+		{"bad range", func(c *CampaignConfig) { c.Parks = []string{"rand:9-2"} }},
+		{"unknown policy", func(c *CampaignConfig) { c.Policies = []string{"uniform", "skynet"} }},
+		{"zero season count", func(c *CampaignConfig) { c.SeasonCounts = []int{0} }},
+		{"negative season months", func(c *CampaignConfig) { c.SeasonMonths = -1 }},
+		{"negative budget", func(c *CampaignConfig) { c.BudgetKM = -10 }},
+		{"beta out of range", func(c *CampaignConfig) { c.Beta = 2 }},
+		{"baseline not in policies", func(c *CampaignConfig) { c.Baseline = "historical" }},
+		{"negative resamples", func(c *CampaignConfig) { c.Resamples = -5 }},
+	}
+	for _, tc := range cases {
+		cfg := CampaignConfig{
+			Parks:        []string{"rand:16"},
+			Policies:     []string{"uniform", "random"},
+			Seeds:        []int64{1},
+			SeasonCounts: []int{1},
+		}
+		tc.mutate(&cfg)
+		if _, err := svc.Campaign(ctx, cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The all-defaults config must validate (don't run it here — the
+	// default grid is MFNP × 3 seeds × 4 seasons, the acceptance test
+	// already covers a real run).
+	def, err := CampaignConfig{}.withDefaults()
+	if err != nil {
+		t.Fatalf("zero-value config rejected: %v", err)
+	}
+	if len(def.Parks) == 0 || len(def.Policies) == 0 || len(def.Seeds) == 0 || len(def.SeasonCounts) == 0 {
+		t.Fatalf("defaults not filled: %+v", def)
+	}
+}
+
+// TestCampaignProgressEvents: one "cell" progress event per completed cell
+// flows through WithProgress, and no inner per-season events leak (cells
+// are the campaign's unit of progress).
+func TestCampaignProgressEvents(t *testing.T) {
+	svc := NewService(WithScale(ScaleSmall), WithWorkers(2))
+	var mu sync.Mutex
+	var events []ProgressEvent
+	var total int
+	done := map[string]bool{}
+	_, err := svc.Campaign(context.Background(), CampaignConfig{
+		Parks:        []string{"rand:16"},
+		Policies:     []string{"uniform", "historical", "random"},
+		Seeds:        []int64{1, 2},
+		SeasonCounts: []int{1},
+	}, WithProgress(func(e ProgressEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Stage != "cell" {
+			t.Fatalf("unexpected stage %q (inner simulation events must be suppressed)", e.Stage)
+		}
+		done[e.Item] = true
+		total = e.Total
+	}
+	if len(events) != 2 || total != 2 || len(done) != 2 {
+		t.Fatalf("events %v", events)
+	}
+}

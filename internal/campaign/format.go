@@ -1,0 +1,34 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the report as a fixed-width text table: per park, each
+// policy's aggregate stats followed by the paired deltas against the
+// baseline. The output is a pure function of the report values —
+// byte-identical for any worker count — which the pawscamp smoke script
+// diffs across worker counts.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d parks × %d seeds × %d season counts = %d cells × %d policies, baseline %s\n",
+		len(r.Parks), len(r.Seeds), len(r.SeasonCounts), len(r.Cells), len(r.Policies), r.Baseline)
+	for _, s := range r.Summaries {
+		fmt.Fprintf(&b, "park %s (%d cells)\n", s.Park, s.Cells)
+		fmt.Fprintf(&b, "  %-12s %12s %12s %14s %14s\n",
+			"policy", "mean-snares", "mean-detect", "total-snares", "total-detect")
+		for _, p := range s.Policies {
+			fmt.Fprintf(&b, "  %-12s %12.1f %12.1f %14d %14d\n",
+				p.Policy, p.MeanSnares, p.MeanDetections, p.TotalSnares, p.TotalDetections)
+		}
+		if len(s.Deltas) > 0 {
+			fmt.Fprintf(&b, "  paired detection deltas vs %s (CRN, 95%% bootstrap CI):\n", r.Baseline)
+			for _, d := range s.Deltas {
+				fmt.Fprintf(&b, "  %-12s mean %+8.2f  [%+8.2f, %+8.2f]  wins %d/%d\n",
+					d.Policy, d.Mean, d.CILow, d.CIHigh, d.Wins, len(d.PerCell))
+			}
+		}
+	}
+	return b.String()
+}

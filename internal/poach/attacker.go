@@ -56,6 +56,16 @@ type AttackerConfig struct {
 	Radius int
 }
 
+// ValidateAttackerKind checks a kind without building anything — the
+// submit-time validation surface of the async job API.
+func ValidateAttackerKind(kind string) error {
+	switch kind {
+	case "", AttackerStatic, AttackerAdaptive:
+		return nil
+	}
+	return fmt.Errorf("poach: unknown attacker kind %q (want %s or %s)", kind, AttackerStatic, AttackerAdaptive)
+}
+
 // NewAttacker builds the attacker behaviour cfg selects over a ground truth.
 func NewAttacker(gt *GroundTruth, cfg AttackerConfig) (Attacker, error) {
 	switch cfg.Kind {
@@ -89,7 +99,13 @@ func NewAttacker(gt *GroundTruth, cfg AttackerConfig) (Attacker, error) {
 			spill:        make([]float64, n),
 		}, nil
 	}
-	return nil, fmt.Errorf("poach: unknown attacker kind %q (want %s or %s)", cfg.Kind, AttackerStatic, AttackerAdaptive)
+	// Single source of truth for the error: a kind NewAttacker cannot build
+	// must be one ValidateAttackerKind rejects, or the submit-time
+	// validation drifts from the build path.
+	if err := ValidateAttackerKind(cfg.Kind); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("poach: attacker kind %q passes validation but has no builder", cfg.Kind)
 }
 
 // StaticAttacker reproduces the historical generative process of

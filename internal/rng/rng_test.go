@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -169,5 +170,45 @@ func TestPoisson(t *testing.T) {
 func TestSeed(t *testing.T) {
 	if New(77).Seed() != 77 {
 		t.Fatal("Seed not recorded")
+	}
+}
+
+// TestDeriveSeedLabelCollisions: the split labels actually used across the
+// tree — fixed subsystem labels plus instances of the parameterized
+// families (per-month draws, per-policy-season streams, campaign bootstrap
+// streams) — must derive pairwise-distinct seeds from one root. A collision
+// would silently correlate two "independent" streams, e.g. one simulated
+// month's draws with another's, the exact failure common-random-number
+// pairing cannot tolerate.
+func TestDeriveSeedLabelCollisions(t *testing.T) {
+	labels := []string{
+		// Fixed subsystem labels.
+		"randsim", "patrols", "attacks", "observations",
+		"select", "effort", "robust", "blind",
+		"randpark", "mask", "rivers", "roads", "villages", "posts",
+		"folds", "cv-seeds",
+	}
+	for m := 0; m < 120; m++ {
+		labels = append(labels, fmt.Sprintf("sim-month:%d", m))
+	}
+	for _, policy := range []string{"paws", "uniform", "historical", "random"} {
+		for s := 0; s < 12; s++ {
+			labels = append(labels, fmt.Sprintf("policy:%s:season:%d", policy, s))
+		}
+	}
+	for _, park := range []string{"MFNP", "QENP", "SWS", "rand:16"} {
+		for _, policy := range []string{"paws", "historical", "random"} {
+			labels = append(labels, fmt.Sprintf("campaign-bootstrap:%s:%s:uniform", park, policy))
+		}
+	}
+	for _, seed := range []int64{0, 1, 7, -42, 1 << 40} {
+		seen := map[int64]string{}
+		for _, label := range labels {
+			d := deriveSeed(seed, label)
+			if prev, ok := seen[d]; ok {
+				t.Fatalf("seed %d: labels %q and %q derive the same stream seed %d", seed, prev, label, d)
+			}
+			seen[d] = label
+		}
 	}
 }

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"paws/internal/job"
+)
+
+// fastCampaign is a cheap deterministic campaign grid: one small procedural
+// park, two non-training policies, 2 seeds — finishes in well under a
+// second.
+func fastCampaign() *CampaignJobRequest {
+	return &CampaignJobRequest{
+		Parks:        []string{"rand:16"},
+		Policies:     []string{"uniform", "historical"},
+		Seeds:        []int64{1, 2},
+		SeasonCounts: []int{1},
+	}
+}
+
+// TestCampaignJobRunsAndStreams: the campaign kind runs to completion, its
+// NDJSON stream carries one "cell" event per grid cell, and the retained
+// result decodes into the paired report with its text rendering.
+func TestCampaignJobRunsAndStreams(t *testing.T) {
+	s := testServer(t, Config{})
+	snap := submitJob(t, s, JobSubmitRequest{Kind: "campaign", Campaign: fastCampaign()})
+	if final := pollJob(t, s, snap.ID); final.State != job.StateDone {
+		t.Fatalf("campaign job ended %s: %+v", final.State, final)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+snap.ID+"/events", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events: status %d", rec.Code)
+	}
+	cellEvents := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	for sc.Scan() {
+		var e job.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch e.Stage {
+		case "cell":
+			if e.Total != 2 {
+				t.Fatalf("cell event with total %d, want 2: %+v", e.Total, e)
+			}
+			cellEvents[e.Item] = true
+		case "state":
+		default:
+			t.Fatalf("unexpected stage %q (inner simulation events must be suppressed): %+v", e.Stage, e)
+		}
+	}
+	if len(cellEvents) != 2 {
+		t.Fatalf("cell events %v, want one per grid cell", cellEvents)
+	}
+	var res CampaignResponse
+	status, raw := do(t, s, http.MethodGet, "/v1/jobs/"+snap.ID+"/result", nil, &res)
+	if status != http.StatusOK {
+		t.Fatalf("result: status %d, body %s", status, raw)
+	}
+	if res.Report == nil || len(res.Cells) != 2 || len(res.Summaries) != 1 || res.Text == "" {
+		t.Fatalf("campaign result shape: %+v", res)
+	}
+	sum := res.Summaries[0]
+	if sum.Park != "rand:16" || len(sum.Policies) != 2 || len(sum.Deltas) != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if d := sum.Deltas[0]; d.Policy != "historical" || d.Baseline != "uniform" || len(d.PerCell) != 2 {
+		t.Fatalf("delta %+v", sum.Deltas[0])
+	}
+}
+
+// TestCampaignJobDeterministicResult: two identical submissions retain
+// byte-identical results — the job layer adds no nondeterminism to the
+// campaign's worker-count-independent report.
+func TestCampaignJobDeterministicResult(t *testing.T) {
+	s := testServer(t, Config{JobWorkers: 4})
+	var raws [2][]byte
+	for i := range raws {
+		snap := submitJob(t, s, JobSubmitRequest{Kind: "campaign", Campaign: fastCampaign()})
+		if final := pollJob(t, s, snap.ID); final.State != job.StateDone {
+			t.Fatalf("run %d ended %s", i, final.State)
+		}
+		status, raw := do(t, s, http.MethodGet, "/v1/jobs/"+snap.ID+"/result", nil, nil)
+		if status != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, status)
+		}
+		raws[i] = raw
+	}
+	if !bytes.Equal(raws[0], raws[1]) {
+		t.Fatal("identical campaign submissions returned different results")
+	}
+}
+
+// TestCampaignJobValidation: malformed grids are rejected at submit time
+// with the structured bad_request envelope — no doomed job is created.
+func TestCampaignJobValidation(t *testing.T) {
+	s := testServer(t, Config{})
+	cases := []struct {
+		name string
+		req  CampaignJobRequest
+	}{
+		{"unknown park", CampaignJobRequest{Parks: []string{"ATLANTIS"}}},
+		{"malformed range", CampaignJobRequest{Parks: []string{"rand:9-2"}}},
+		{"overflowing range", CampaignJobRequest{Parks: []string{"rand:0-9223372036854775807"}}},
+		{"too many parks", CampaignJobRequest{Parks: []string{"rand:1-200"}}},
+		{"grid too large", CampaignJobRequest{Parks: []string{"rand:1-8"}, Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}}},
+		{"too many seeds", CampaignJobRequest{Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}}},
+		{"duplicate seeds", CampaignJobRequest{Seeds: []int64{1, 1}}},
+		{"duplicate policies", CampaignJobRequest{Policies: []string{"uniform", "uniform"}}},
+		{"unknown policy", CampaignJobRequest{Policies: []string{"uniform", "skynet"}}},
+		{"empty policy name", CampaignJobRequest{Policies: []string{"uniform", ""}}},
+		{"zero season count", CampaignJobRequest{SeasonCounts: []int{0}}},
+		{"season count over cap", CampaignJobRequest{SeasonCounts: []int{99}}},
+		{"season months over cap", CampaignJobRequest{SeasonMonths: 99}},
+		{"negative season months", CampaignJobRequest{SeasonMonths: -1}},
+		{"unknown attacker", CampaignJobRequest{Attacker: "quantum"}},
+		{"unknown baseline", CampaignJobRequest{Baseline: "skynet"}},
+		{"beta out of range", CampaignJobRequest{Beta: 1.5}},
+		{"negative resamples", CampaignJobRequest{Resamples: -1}},
+		{"resamples over cap", CampaignJobRequest{Resamples: 1_000_000}},
+	}
+	for _, tc := range cases {
+		req := tc.req
+		status, raw := do(t, s, http.MethodPost, "/v1/jobs", JobSubmitRequest{Kind: "campaign", Campaign: &req}, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", tc.name, status, raw)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error.Code != CodeBadRequest {
+			t.Errorf("%s: envelope %s", tc.name, raw)
+		}
+	}
+	// Nothing above should have left a job behind.
+	var list jobListResponse
+	if status, _ := do(t, s, http.MethodGet, "/v1/jobs", nil, &list); status != http.StatusOK || len(list.Jobs) != 0 {
+		t.Fatalf("rejected submissions left jobs: %+v", list.Jobs)
+	}
+}

@@ -10,11 +10,12 @@ import (
 	"time"
 
 	"paws"
+	"paws/internal/campaign"
 	"paws/internal/job"
 )
 
 // This file is the HTTP surface of the async job layer: submission of the
-// four job kinds (simulate, train, table2, riskmap), snapshots, the
+// five job kinds (simulate, campaign, train, table2, riskmap), snapshots, the
 // replayable NDJSON progress stream, results and cancellation. Each kind
 // validates its parameters at submit time — malformed requests, unknown
 // park specs and unregistered models fail fast with the structured error
@@ -264,6 +265,119 @@ func (s *Server) table2Fn(req Table2JobRequest) (job.Fn, error) {
 	}, nil
 }
 
+// CampaignJobRequest asks for a multi-scenario campaign: a grid of parks ×
+// replicate seeds × season counts, every cell a closed-loop simulation
+// comparing the same policies under common random numbers, aggregated into
+// paired per-park policy deltas with bootstrap confidence intervals.
+type CampaignJobRequest struct {
+	// Parks are park specs; procedural ranges "rand:<lo>-<hi>" expand to
+	// one park per seed (default MFNP).
+	Parks []string `json:"parks,omitempty"`
+	// Policies are compared inside every cell (default paws,uniform).
+	Policies []string `json:"policies,omitempty"`
+	// Seeds are the replicate seeds (default 1,2,3).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// SeasonCounts are the season-count grid values (default 4).
+	SeasonCounts []int `json:"season_counts,omitempty"`
+	// SeasonMonths is the months per season (default 3, capped at 12).
+	SeasonMonths int `json:"season_months,omitempty"`
+	// Attacker is "static" or "adaptive" (default adaptive).
+	Attacker string `json:"attacker,omitempty"`
+	// Beta is the paws policy's robustness weight (default 0.9).
+	Beta float64 `json:"beta,omitempty"`
+	// BudgetKM overrides the per-month patrol budget.
+	BudgetKM float64 `json:"budget_km,omitempty"`
+	// Baseline anchors the paired deltas (default "uniform" when present).
+	Baseline string `json:"baseline,omitempty"`
+	// Resamples is the bootstrap resample count (default 2000).
+	Resamples int `json:"resamples,omitempty"`
+	// TimeoutMS bounds the job's runtime (0 = unbounded).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CampaignResponse is the campaign report plus the deterministic
+// fixed-width text rendering pawscamp prints.
+type CampaignResponse struct {
+	*campaign.Report
+	Text string `json:"text"`
+}
+
+// Campaign grids multiply simulation work, so their size is bounded
+// server-side: the cell count cap dominates (a cell is a full closed-loop
+// simulation), the rest keep single dimensions sane.
+const (
+	maxCampaignParks = 8
+	maxCampaignSeeds = 16
+	maxCampaignCells = 64
+	maxResamples     = 100_000
+)
+
+// campaignFn validates a campaign request and lowers it to a job function.
+// Park ranges are expanded, every grid dimension checked against the
+// server-side caps, and the full campaign validation (spec validity,
+// duplicate seeds/policies, season counts, baseline membership, attacker
+// kind, beta range) run at submit time, so a malformed grid fails fast
+// with a structured 400 instead of a doomed job.
+func (s *Server) campaignFn(req CampaignJobRequest) (job.Fn, error) {
+	parks := req.Parks
+	if len(parks) == 0 {
+		parks = []string{"MFNP"}
+	}
+	expanded, err := campaign.ExpandParks(parks)
+	if err != nil {
+		return nil, err
+	}
+	if len(expanded) > maxCampaignParks {
+		return nil, fmt.Errorf("%d parks exceed the limit of %d", len(expanded), maxCampaignParks)
+	}
+	if len(req.Policies) > maxSimPolicies {
+		return nil, fmt.Errorf("%d policies exceed the limit of %d", len(req.Policies), maxSimPolicies)
+	}
+	if len(req.Seeds) > maxCampaignSeeds {
+		return nil, fmt.Errorf("%d seeds exceed the limit of %d", len(req.Seeds), maxCampaignSeeds)
+	}
+	for _, n := range req.SeasonCounts {
+		if n > maxSimSeasons {
+			return nil, fmt.Errorf("season count %d exceeds the limit of %d", n, maxSimSeasons)
+		}
+	}
+	if req.SeasonMonths > maxSimSeasonMonths {
+		return nil, fmt.Errorf("season_months %d exceeds the limit of %d", req.SeasonMonths, maxSimSeasonMonths)
+	}
+	if req.Resamples > maxResamples {
+		return nil, fmt.Errorf("resamples %d exceeds the limit of %d", req.Resamples, maxResamples)
+	}
+	cfg := paws.CampaignConfig{
+		Parks:        expanded,
+		Policies:     req.Policies,
+		Seeds:        req.Seeds,
+		SeasonCounts: req.SeasonCounts,
+		SeasonMonths: req.SeasonMonths,
+		BudgetKM:     req.BudgetKM,
+		Beta:         req.Beta,
+		Baseline:     req.Baseline,
+		Resamples:    req.Resamples,
+	}
+	cfg.Attacker.Kind = req.Attacker
+	// One library call does the full validation (GridSize ⊇ Validate) and
+	// yields the cell count of the defaults-filled grid Campaign would
+	// actually run, so the cap cannot drift from the library's defaults.
+	cells, err := cfg.GridSize()
+	if err != nil {
+		return nil, err
+	}
+	if cells > maxCampaignCells {
+		return nil, fmt.Errorf("campaign grid of %d cells exceeds the limit of %d", cells, maxCampaignCells)
+	}
+	return func(ctx context.Context, publish func(job.Event)) (any, error) {
+		rep, err := s.svc.Campaign(ctx, cfg, paws.WithProgress(progressPublisher(publish)))
+		if err != nil {
+			return nil, err
+		}
+		return CampaignResponse{Report: rep, Text: rep.Format()}, nil
+	}, nil
+}
+
 // riskmapFn validates a riskmap request (including that the model is
 // registered — the registry is available at submit time) and lowers it to
 // a job function that shares computeRiskMap (and its LRU) with the
@@ -287,12 +401,13 @@ func (s *Server) riskmapFn(req RiskMapRequest) (job.Fn, error) {
 // JobSubmitRequest submits one job: Kind selects which parameter block
 // applies (a nil block uses that kind's defaults).
 type JobSubmitRequest struct {
-	// Kind is one of "simulate", "train", "table2", "riskmap".
-	Kind     string            `json:"kind"`
-	Simulate *SimulateRequest  `json:"simulate,omitempty"`
-	Train    *TrainJobRequest  `json:"train,omitempty"`
-	Table2   *Table2JobRequest `json:"table2,omitempty"`
-	RiskMap  *RiskMapRequest   `json:"riskmap,omitempty"`
+	// Kind is one of "simulate", "campaign", "train", "table2", "riskmap".
+	Kind     string              `json:"kind"`
+	Simulate *SimulateRequest    `json:"simulate,omitempty"`
+	Campaign *CampaignJobRequest `json:"campaign,omitempty"`
+	Train    *TrainJobRequest    `json:"train,omitempty"`
+	Table2   *Table2JobRequest   `json:"table2,omitempty"`
+	RiskMap  *RiskMapRequest     `json:"riskmap,omitempty"`
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +426,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			p = *req.Simulate
 		}
 		fn, err = s.simulateFn(p)
+		timeoutMS = p.TimeoutMS
+	case "campaign":
+		var p CampaignJobRequest
+		if req.Campaign != nil {
+			p = *req.Campaign
+		}
+		fn, err = s.campaignFn(p)
 		timeoutMS = p.TimeoutMS
 	case "train":
 		var p TrainJobRequest
@@ -334,7 +456,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		fn, err = s.riskmapFn(p)
 		timeoutMS = p.TimeoutMS
 	default:
-		err = fmt.Errorf("unknown job kind %q (want simulate, train, table2 or riskmap)", req.Kind)
+		err = fmt.Errorf("unknown job kind %q (want simulate, campaign, train, table2 or riskmap)", req.Kind)
 	}
 	if err != nil {
 		writeErr(w, err)

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"paws/internal/job"
+)
+
+// TestRiskMapFreshAfterRetrain is the cache-staleness regression test for
+// model re-registration: train a model via the job API, query its risk map
+// (populating the LRU), retrain a *different* model under the same name,
+// and query again. The second response must not be served from the cache
+// and must differ from the first — the cache key includes the registry
+// generation, which every registration bumps, so entries computed from a
+// prior generation can never be replayed for the new model.
+func TestRiskMapFreshAfterRetrain(t *testing.T) {
+	s := testServer(t, Config{})
+	train := func(seed int64) {
+		t.Helper()
+		snap := submitJob(t, s, JobSubmitRequest{Kind: "train", Train: &TrainJobRequest{
+			Name:       "regen",
+			Park:       "rand:16",
+			Kind:       "DTB-iW",
+			Seed:       seed,
+			Thresholds: 3,
+			Members:    3,
+		}})
+		if final := pollJob(t, s, snap.ID); final.State != job.StateDone {
+			t.Fatalf("train(seed=%d) ended %s: %+v", seed, final.State, final)
+		}
+	}
+	riskmap := func() RiskMapResponse {
+		t.Helper()
+		var resp RiskMapResponse
+		status, raw := do(t, s, http.MethodGet, "/v1/riskmap?model=regen&effort=2.0", nil, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("riskmap: status %d, body %s", status, raw)
+		}
+		return resp
+	}
+
+	train(3)
+	first := riskmap()
+	if first.Cached {
+		t.Fatal("first riskmap claims to be cached")
+	}
+	// Same model, same effort: the LRU now answers.
+	if again := riskmap(); !again.Cached {
+		t.Fatal("repeat riskmap before retraining missed the cache")
+	}
+
+	train(4) // re-registers "regen" with a different model
+	second := riskmap()
+	if second.Cached {
+		t.Fatal("riskmap after retraining was served from the stale cache entry")
+	}
+	same := len(first.Risk) == len(second.Risk)
+	if same {
+		for i := range first.Risk {
+			if first.Risk[i] != second.Risk[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("riskmap after retraining is identical to the prior generation's map")
+	}
+	// And the fresh generation's map is itself cached now.
+	if again := riskmap(); !again.Cached {
+		t.Fatal("repeat riskmap after retraining missed the cache")
+	}
+}
+
+// TestSimulateJobSubmitValidation: the async simulate kind rejects invalid
+// configurations at submit time with a structured 400 — the same fail-fast
+// contract as the campaign kind — instead of accepting a doomed job.
+func TestSimulateJobSubmitValidation(t *testing.T) {
+	s := testServer(t, Config{})
+	cases := []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"negative seasons", SimulateRequest{Seasons: -3}},
+		{"negative season months", SimulateRequest{SeasonMonths: -1}},
+		{"negative budget", SimulateRequest{BudgetKM: -5}},
+		{"unknown policy", SimulateRequest{Policies: []string{"uniform", "skynet"}}},
+		{"duplicate policy", SimulateRequest{Policies: []string{"uniform", "uniform"}}},
+		{"unknown attacker", SimulateRequest{Attacker: "quantum"}},
+		{"beta out of range", SimulateRequest{Beta: 1.5}},
+	}
+	for _, tc := range cases {
+		req := tc.req
+		status, raw := do(t, s, http.MethodPost, "/v1/jobs", JobSubmitRequest{Kind: "simulate", Simulate: &req}, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", tc.name, status, raw)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error.Code != CodeBadRequest {
+			t.Errorf("%s: envelope %s", tc.name, raw)
+		}
+	}
+	var list jobListResponse
+	if status, _ := do(t, s, http.MethodGet, "/v1/jobs", nil, &list); status != http.StatusOK || len(list.Jobs) != 0 {
+		t.Fatalf("rejected submissions left jobs: %+v", list.Jobs)
+	}
+}
+
+// streamEvents fetches /events?from=N against a terminal job and returns
+// the decoded lines.
+func streamEvents(t *testing.T, s *Server, id string, from int) []job.Event {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/jobs/%s/events?from=%d", id, from), nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events?from=%d: status %d, body %s", from, rec.Code, rec.Body.Bytes())
+	}
+	var evs []job.Event
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	for sc.Scan() {
+		var e job.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestJobEventsResumeBoundary is the ?from=N off-by-one audit against a
+// drained job: for every split point k of the full stream, a client that
+// received events 0..k−1 and resumes at from=k must get exactly events
+// k..n−1 — no duplicate of event k−1, no dropped event k. The boundary
+// cases from=n (fully caught up) and from=n+1 (beyond the end) must
+// terminate with an empty stream rather than hang or error.
+func TestJobEventsResumeBoundary(t *testing.T) {
+	s := testServer(t, Config{})
+	snap := submitJob(t, s, JobSubmitRequest{Kind: "simulate", Simulate: fastSim(2)})
+	if final := pollJob(t, s, snap.ID); final.State != job.StateDone {
+		t.Fatalf("job ended %s", final.State)
+	}
+	full := streamEvents(t, s, snap.ID, 0)
+	n := len(full)
+	if n < 4 {
+		t.Fatalf("drained job produced only %d events", n)
+	}
+	for i, e := range full {
+		if e.Seq != i {
+			t.Fatalf("full stream event %d has seq %d", i, e.Seq)
+		}
+	}
+	for k := 0; k <= n+1; k++ {
+		tail := streamEvents(t, s, snap.ID, k)
+		wantLen := n - k
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(tail) != wantLen {
+			t.Fatalf("from=%d returned %d events, want %d", k, len(tail), wantLen)
+		}
+		for i, e := range tail {
+			if e != full[k+i] {
+				t.Fatalf("from=%d event %d = %+v, want %+v", k, i, e, full[k+i])
+			}
+		}
+	}
+}

@@ -21,8 +21,8 @@
 // holding a connection open for minutes, clients submit work, watch a
 // typed progress-event stream, and fetch the result when it is ready:
 //
-//	POST   /v1/jobs             — submit (kinds: simulate, train, table2,
-//	                              riskmap); returns the job snapshot
+//	POST   /v1/jobs             — submit (kinds: simulate, campaign, train,
+//	                              table2, riskmap); returns the job snapshot
 //	GET    /v1/jobs             — list retained jobs
 //	GET    /v1/jobs/{id}        — job snapshot (state, timestamps, error)
 //	GET    /v1/jobs/{id}/events — NDJSON progress stream, replayable via
@@ -435,7 +435,10 @@ func (s *Server) computeRiskMap(ctx context.Context, req RiskMapRequest) (RiskMa
 		resp.Cached = true
 		return resp, nil
 	}
-	risk, unc, err := s.svc.RiskMaps(ctx, req.Model, req.Effort)
+	// Compute from the instance the key was derived from — re-resolving
+	// the name here could race with a concurrent re-registration and file
+	// one generation's maps under another's key.
+	risk, unc, err := sm.PlannerModel().MapsCtx(ctx, req.Effort)
 	if err != nil {
 		return RiskMapResponse{}, err
 	}
@@ -539,9 +542,6 @@ func (s *Server) simulateFn(req SimulateRequest) (job.Fn, error) {
 	if len(req.Policies) > maxSimPolicies {
 		return nil, fmt.Errorf("%d policies exceed the limit of %d", len(req.Policies), maxSimPolicies)
 	}
-	if req.Beta < 0 || req.Beta > 1 || math.IsNaN(req.Beta) {
-		return nil, fmt.Errorf("beta %v out of range [0, 1]", req.Beta)
-	}
 	if req.Park != "" {
 		if err := paws.ValidateParkSpec(req.Park); err != nil {
 			return nil, err
@@ -556,6 +556,12 @@ func (s *Server) simulateFn(req SimulateRequest) (job.Fn, error) {
 		BudgetKM:     req.BudgetKM,
 	}
 	cfg.Attacker.Kind = req.Attacker
+	// Full library-level validation at submit time: negative ranges, beta,
+	// unknown policies and attacker kinds fail as a structured 400 here
+	// instead of a job doomed to fail at run time.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return func(ctx context.Context, publish func(job.Event)) (any, error) {
 		opts := []paws.Option{paws.WithProgress(progressPublisher(publish))}
 		if req.Seed != 0 {

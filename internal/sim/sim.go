@@ -40,6 +40,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"paws/internal/geo"
 	"paws/internal/par"
@@ -119,21 +120,36 @@ type Config struct {
 	Progress func(policy string, season, seasons int)
 }
 
-// withDefaults validates and fills cfg.
+// withDefaults validates and fills cfg. Zero values select defaults;
+// negative values (and degenerate parks) are rejected rather than silently
+// replaced, so a caller's typo surfaces as a structured error instead of a
+// simulation of the wrong thing.
 func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Park == nil {
 		return cfg, fmt.Errorf("sim: nil park")
 	}
+	if len(cfg.Park.Posts) == 0 {
+		return cfg, fmt.Errorf("sim: park %s has no patrol posts", cfg.Park.Name)
+	}
 	if cfg.Seasons < 1 {
 		return cfg, fmt.Errorf("sim: seasons must be ≥ 1, got %d", cfg.Seasons)
 	}
-	if cfg.SeasonMonths <= 0 {
+	if cfg.SeasonMonths < 0 {
+		return cfg, fmt.Errorf("sim: season months must be ≥ 1, got %d", cfg.SeasonMonths)
+	}
+	if cfg.SeasonMonths == 0 {
 		cfg.SeasonMonths = 3
 	}
-	if cfg.BootstrapMonths <= 0 {
+	if cfg.BootstrapMonths < 0 {
+		return cfg, fmt.Errorf("sim: bootstrap months must be ≥ 1, got %d", cfg.BootstrapMonths)
+	}
+	if cfg.BootstrapMonths == 0 {
 		cfg.BootstrapMonths = 24
 	}
-	if cfg.BudgetKM <= 0 {
+	if cfg.BudgetKM < 0 || math.IsNaN(cfg.BudgetKM) || math.IsInf(cfg.BudgetKM, 0) {
+		return cfg, fmt.Errorf("sim: budget %v km/month must be a non-negative finite number", cfg.BudgetKM)
+	}
+	if cfg.BudgetKM == 0 {
 		p := cfg.Sim.Patrol
 		cfg.BudgetKM = float64(len(cfg.Park.Posts) * p.PatrolsPerPostMonth * p.LengthKM)
 	}

@@ -142,6 +142,48 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunEdgeValidation: degenerate configurations — zero-post parks,
+// negative budgets, months and season counts — are rejected with an error
+// instead of silently simulating defaults, panicking or looping.
+func TestRunEdgeValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero-post park", func(c *Config) {
+			park := *c.Park
+			park.Posts = nil
+			c.Park = &park
+		}},
+		{"negative seasons", func(c *Config) { c.Seasons = -1 }},
+		{"negative season months", func(c *Config) { c.SeasonMonths = -2 }},
+		{"negative bootstrap months", func(c *Config) { c.BootstrapMonths = -6 }},
+		{"negative budget", func(c *Config) { c.BudgetKM = -40 }},
+		{"NaN budget", func(c *Config) { c.BudgetKM = math.NaN() }},
+		{"infinite budget", func(c *Config) { c.BudgetKM = math.Inf(1) }},
+		{"no derivable budget", func(c *Config) { c.BudgetKM = 0; c.Sim.Patrol = poach.PatrolConfig{} }},
+	}
+	for _, tc := range cases {
+		cfg := testConfig(t, poach.AttackerStatic)
+		tc.mutate(&cfg)
+		if _, err := Run(ctx, cfg, allPolicies()); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Zero values still select the documented defaults.
+	ok := testConfig(t, poach.AttackerStatic)
+	ok.SeasonMonths, ok.BootstrapMonths, ok.BudgetKM = 0, 0, 0
+	ok.Seasons = 1
+	rep, err := Run(ctx, ok, []Policy{Uniform()})
+	if err != nil {
+		t.Fatalf("zero-value defaults rejected: %v", err)
+	}
+	if rep.SeasonMonths != 3 || rep.BudgetKM <= 0 {
+		t.Fatalf("defaults not applied: months=%d budget=%v", rep.SeasonMonths, rep.BudgetKM)
+	}
+}
+
 // TestRunCanceledContext: a dead context aborts instead of running seasons.
 func TestRunCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"paws/internal/rng"
+)
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval for the
+// mean of x: resamples means of n-out-of-n draws with replacement, sorted,
+// cut at the (1−conf)/2 and 1−(1−conf)/2 quantiles. The draws come from r
+// only, so the interval is a pure function of (x, resamples, conf, r's
+// stream) — deterministic and independent of any worker count.
+//
+// Degenerate inputs follow the conventions of the campaign layer that calls
+// this: an empty x returns (NaN, NaN); a single observation returns
+// (x[0], x[0]) — one paired replicate carries no resampling uncertainty to
+// estimate, and collapsing the interval keeps it honest about that.
+func BootstrapMeanCI(x []float64, resamples int, conf float64, r *rng.RNG) (lo, hi float64) {
+	n := len(x)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if n == 1 {
+		return x[0], x[0]
+	}
+	if resamples < 1 {
+		resamples = 1
+	}
+	means := make([]float64, resamples)
+	for b := range means {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[r.Intn(n)]
+		}
+		means[b] = s / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return PercentileSorted(means, 100*alpha), PercentileSorted(means, 100*(1-alpha))
+}

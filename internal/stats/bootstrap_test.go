@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"paws/internal/rng"
+)
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	x := []float64{3, 7, 1, 9, 4, 6}
+	lo1, hi1 := BootstrapMeanCI(x, 500, 0.95, rng.New(11))
+	lo2, hi2 := BootstrapMeanCI(x, 500, 0.95, rng.New(11))
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("same stream gave [%v,%v] then [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestBootstrapMeanCIBracketsMean(t *testing.T) {
+	x := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	mean := Mean(x)
+	lo, hi := BootstrapMeanCI(x, 2000, 0.95, rng.New(3))
+	if !(lo <= mean && mean <= hi) {
+		t.Fatalf("CI [%v, %v] does not bracket the mean %v", lo, hi, mean)
+	}
+	if lo < 2 || hi > 16 {
+		t.Fatalf("CI [%v, %v] escapes the sample range", lo, hi)
+	}
+	if lo == hi {
+		t.Fatal("CI degenerate on a spread sample")
+	}
+	// All-positive samples must keep a positive lower bound — the property
+	// the campaign acceptance criterion leans on.
+	if lo <= 0 {
+		t.Fatalf("CI lower bound %v not positive for an all-positive sample", lo)
+	}
+}
+
+func TestBootstrapMeanCIDegenerate(t *testing.T) {
+	if lo, hi := BootstrapMeanCI(nil, 100, 0.95, rng.New(1)); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatalf("empty input: [%v, %v], want NaNs", lo, hi)
+	}
+	if lo, hi := BootstrapMeanCI([]float64{5}, 100, 0.95, rng.New(1)); lo != 5 || hi != 5 {
+		t.Fatalf("single observation: [%v, %v], want [5, 5]", lo, hi)
+	}
+	// Constant samples collapse to the constant.
+	if lo, hi := BootstrapMeanCI([]float64{4, 4, 4}, 100, 0.95, rng.New(1)); lo != 4 || hi != 4 {
+		t.Fatalf("constant sample: [%v, %v], want [4, 4]", lo, hi)
+	}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# pawscamp smoke test: run a 2-park × 2-policy × 2-seed campaign (one season
+# per cell) and assert the paired-comparison table and the JSON report are
+# byte-identical across worker counts. Used by CI and runnable locally:
+# ./scripts/pawscamp_smoke.sh
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/pawscamp"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+go build -o "$BIN" ./cmd/pawscamp
+
+ARGS=(-parks rand:16,rand:8 -policies paws,uniform -seeds 1,2 -seasons 1)
+"$BIN" "${ARGS[@]}" -workers 1 -json "$WORKDIR/w1.json" >"$WORKDIR/w1.txt"
+"$BIN" "${ARGS[@]}" -workers 8 -json "$WORKDIR/w8.json" >"$WORKDIR/w8.txt"
+
+if ! diff -u "$WORKDIR/w1.txt" "$WORKDIR/w8.txt"; then
+  echo "FAIL: table differs between -workers 1 and -workers 8"
+  exit 1
+fi
+if ! diff -q "$WORKDIR/w1.json" "$WORKDIR/w8.json"; then
+  echo "FAIL: JSON report differs between -workers 1 and -workers 8"
+  exit 1
+fi
+
+grep -q "= 4 cells × 2 policies, baseline uniform" "$WORKDIR/w1.txt" || { echo "FAIL: missing campaign header"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q "^park rand:16 " "$WORKDIR/w1.txt" || { echo "FAIL: missing rand:16 block"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q "^park rand:8 " "$WORKDIR/w1.txt" || { echo "FAIL: missing rand:8 block"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q "paired detection deltas vs uniform" "$WORKDIR/w1.txt" || { echo "FAIL: missing paired deltas"; cat "$WORKDIR/w1.txt"; exit 1; }
+grep -q '"per_cell"' "$WORKDIR/w1.json" || { echo "FAIL: JSON report missing per-cell deltas"; exit 1; }
+
+cat "$WORKDIR/w1.txt"
+echo "pawscamp smoke test passed"

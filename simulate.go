@@ -3,6 +3,7 @@ package paws
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"paws/internal/dataset"
@@ -44,24 +45,90 @@ type SimConfig struct {
 	Beta float64
 }
 
-// withDefaults fills the zero values.
-func (cfg SimConfig) withDefaults() SimConfig {
+// withDefaults validates and fills cfg: zero values select defaults, while
+// negative or out-of-range values are rejected — a typo'd request must fail
+// with a structured error (bad_request over HTTP), not silently simulate
+// the defaults, panic, or loop forever. Park/attacker specifics (unknown
+// specs, zero-post parks, attacker kinds) are validated downstream where
+// the objects are built.
+func (cfg SimConfig) withDefaults() (SimConfig, error) {
 	if cfg.Park == "" {
 		cfg.Park = "MFNP"
 	}
-	if cfg.Seasons <= 0 {
+	if cfg.Seasons < 0 {
+		return cfg, fmt.Errorf("paws: seasons must be ≥ 1, got %d", cfg.Seasons)
+	}
+	if cfg.Seasons == 0 {
 		cfg.Seasons = 4
+	}
+	if err := validateSimRanges(cfg.SeasonMonths, cfg.BootstrapMonths, cfg.BudgetKM, cfg.Beta); err != nil {
+		return cfg, err
 	}
 	if len(cfg.Policies) == 0 {
 		cfg.Policies = []string{"paws", "uniform", "historical", "random"}
 	}
+	if err := validatePolicyNames(cfg.Policies); err != nil {
+		return cfg, err
+	}
 	if cfg.Attacker.Kind == "" {
 		cfg.Attacker.Kind = poach.AttackerAdaptive
 	}
-	if cfg.Beta <= 0 {
+	if err := poach.ValidateAttackerKind(cfg.Attacker.Kind); err != nil {
+		return cfg, err
+	}
+	if cfg.Beta == 0 {
 		cfg.Beta = 0.9
 	}
-	return cfg
+	return cfg, nil
+}
+
+// validatePolicyNames checks that every name is unique and resolves to a
+// built-in baseline policy or the root package's "paws" policy.
+func validatePolicyNames(names []string) error {
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			return fmt.Errorf("paws: duplicate policy %q", name)
+		}
+		seen[name] = true
+		if name == "paws" {
+			continue
+		}
+		if _, err := sim.ByName(name); err != nil {
+			return fmt.Errorf("paws: %w (plus \"paws\")", err)
+		}
+	}
+	return nil
+}
+
+// validateSimRanges rejects the negative and out-of-range values shared by
+// SimConfig and CampaignConfig (which forwards these fields into every
+// per-cell SimConfig) — one copy of the rules, so the two submit-time
+// surfaces cannot drift.
+func validateSimRanges(seasonMonths, bootstrapMonths int, budgetKM, beta float64) error {
+	if seasonMonths < 0 {
+		return fmt.Errorf("paws: season months must be ≥ 1, got %d", seasonMonths)
+	}
+	if bootstrapMonths < 0 {
+		return fmt.Errorf("paws: bootstrap months must be ≥ 1, got %d", bootstrapMonths)
+	}
+	if budgetKM < 0 || math.IsNaN(budgetKM) || math.IsInf(budgetKM, 0) {
+		return fmt.Errorf("paws: budget %v km/month must be a non-negative finite number", budgetKM)
+	}
+	if beta < 0 || beta > 1 || math.IsNaN(beta) {
+		return fmt.Errorf("paws: beta %v out of range [0, 1]", beta)
+	}
+	return nil
+}
+
+// Validate checks a simulation configuration — ranges, policy names, the
+// attacker kind — without simulating anything. This is the submit-time
+// validation surface of the async job API: everything Simulate rejects up
+// front fails here first. (Park specs are validated separately via
+// ValidateParkSpec, which the HTTP layer already calls.)
+func (cfg SimConfig) Validate() error {
+	_, err := cfg.withDefaults()
+	return err
 }
 
 // Simulate runs the closed-loop policy comparison: generate the park,
@@ -74,7 +141,10 @@ func (cfg SimConfig) withDefaults() SimConfig {
 // planning call; the report is byte-identical for any worker count.
 func (s *Service) Simulate(ctx context.Context, cfg SimConfig, opts ...Option) (*sim.Report, error) {
 	st := s.settingsFor(opts)
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	parkCfg, simCfg, err := resolveConfigs(cfg.Park, st.scale, st.seed)
 	if err != nil {
 		return nil, err

@@ -128,6 +128,32 @@ func TestSimulateErrors(t *testing.T) {
 	}
 }
 
+// TestSimulateEdgeValidation: negative and out-of-range SimConfig values are
+// rejected with an error (the HTTP layer renders these as bad_request)
+// instead of silently selecting defaults.
+func TestSimulateEdgeValidation(t *testing.T) {
+	svc := NewService(WithSeed(7), WithScale(ScaleSmall))
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		mutate func(*SimConfig)
+	}{
+		{"negative seasons", func(c *SimConfig) { c.Seasons = -2 }},
+		{"negative season months", func(c *SimConfig) { c.SeasonMonths = -1 }},
+		{"negative bootstrap months", func(c *SimConfig) { c.BootstrapMonths = -12 }},
+		{"negative budget", func(c *SimConfig) { c.BudgetKM = -5 }},
+		{"beta above one", func(c *SimConfig) { c.Beta = 1.5 }},
+		{"negative beta", func(c *SimConfig) { c.Beta = -0.1 }},
+	}
+	for _, tc := range cases {
+		cfg := SimConfig{Park: "rand:16", Seasons: 1, Policies: []string{"uniform"}}
+		tc.mutate(&cfg)
+		if _, err := svc.Simulate(ctx, cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
 // TestScenarioRandSpec: procedural parks flow through the Scenario API (and
 // pawsgen): identical for repeated generation, independent of scale.
 func TestScenarioRandSpec(t *testing.T) {
