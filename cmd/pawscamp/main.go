@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"paws"
+	"paws/internal/prof"
 )
 
 func main() {
@@ -43,10 +44,18 @@ func main() {
 	kindStr := flag.String("kind", "DTB-iW", "model kind the paws policy retrains each season")
 	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
 	jsonPath := flag.String("json", "", "also write the full report as JSON to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	scale, err := paws.ParseScale(*scaleStr)
 	if err != nil {
@@ -97,6 +106,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "pawscamp: wrote %s\n", *jsonPath)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers, served only on the opt-in -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,7 +68,19 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished job results are retained")
 	jobRetain := flag.Int("job-retain", 64, "max finished jobs retained (oldest evicted first)")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiling handlers live on http.DefaultServeMux, which the API
+		// server never touches, so they are reachable only via this listener.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	if err := run(*addr, *name, *park, *scaleStr, *kindStr, *modelPath,
 		*seed, *train, *trainYears, *cvFolds, *workers, *timeout, *cacheSize,

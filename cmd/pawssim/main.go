@@ -22,6 +22,7 @@ import (
 
 	"paws"
 	"paws/internal/geo"
+	"paws/internal/prof"
 )
 
 func main() {
@@ -37,10 +38,18 @@ func main() {
 	budget := flag.Float64("budget", 0, "patrol budget in km/month (0 = the park's ranger capacity)")
 	kindStr := flag.String("kind", "DTB-iW", "model kind the paws policy retrains each season")
 	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	scale, err := paws.ParseScale(*scaleStr)
 	if err != nil {
@@ -72,6 +81,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(rep.Format())
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

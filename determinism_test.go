@@ -7,7 +7,9 @@ package paws
 // two-part contract (index-owned writes + pre-derived seeds).
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -211,6 +213,73 @@ func TestTable2SweepDeterminism(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par4[i] {
 			t.Fatalf("row %d: %+v != %+v", i, seq[i], par4[i])
+		}
+	}
+}
+
+// TestPresetPipelineWorkerInvariance runs the serving pipeline on an
+// existing preset park at Workers 1, 4 and 8 — train, risk maps, and both
+// the default and the forced-hierarchical plan — and requires byte-identical
+// outputs. Preset parks sit below HierAutoCells, so the default plan must
+// keep using the exact per-post solver (the columnar refactor's
+// backwards-compatibility check) while a forced hierarchical plan must obey
+// the same determinism contract.
+func TestPresetPipelineWorkerInvariance(t *testing.T) {
+	sc, err := ScenarioAt("MFNP", ScaleSmall, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev := len(sc.Data.Steps) - 1
+	type outputs struct {
+		risk, unc   []float64
+		exact, hier *PlanResult
+	}
+	run := func(workers int) outputs {
+		opts := quickTrainOpts(DTBiW, 53)
+		opts.Workers = workers
+		m, err := Train(sc.Data.AllPoints(), opts)
+		if err != nil {
+			t.Fatalf("workers=%d train: %v", workers, err)
+		}
+		svc := NewService(WithWorkers(workers))
+		if _, err := svc.AddModel(ctx, "m", m, sc.Data, prev); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		risk, unc, err := svc.RiskMaps(ctx, "m", 2)
+		if err != nil {
+			t.Fatalf("workers=%d riskmaps: %v", workers, err)
+		}
+		exact, err := svc.Plan(ctx, "m", 0, 0.3)
+		if err != nil {
+			t.Fatalf("workers=%d plan: %v", workers, err)
+		}
+		hier, err := svc.Plan(ctx, "m", 0, 0.3, WithHierarchical(true))
+		if err != nil {
+			t.Fatalf("workers=%d hierarchical plan: %v", workers, err)
+		}
+		return outputs{risk, unc, exact, hier}
+	}
+	ref := run(1)
+	if ref.exact.Hierarchical {
+		t.Fatal("default plan on a preset park must use the exact solver")
+	}
+	if !ref.hier.Hierarchical {
+		t.Fatal("WithHierarchical(true) did not force the coarse pass")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		assertSameFloats(t, fmt.Sprintf("workers=%d RiskMap", workers), ref.risk, got.risk)
+		assertSameFloats(t, fmt.Sprintf("workers=%d UncertaintyMap", workers), ref.unc, got.unc)
+		for _, p := range []struct {
+			name     string
+			ref, got *PlanResult
+		}{{"exact", ref.exact, got.exact}, {"hierarchical", ref.hier, got.hier}} {
+			if !reflect.DeepEqual(p.ref.Cells, p.got.Cells) ||
+				!reflect.DeepEqual(p.ref.Effort, p.got.Effort) ||
+				!reflect.DeepEqual(p.ref.Routes, p.got.Routes) {
+				t.Fatalf("workers=%d: %s plan diverged from sequential", workers, p.name)
+			}
 		}
 	}
 }

@@ -5,6 +5,13 @@
 // X ∈ R^{T×N×k} — static geospatial features plus the previous-step patrol
 // coverage covariate — and binary labels y, and computes the summary
 // statistics of Table I and the positive-rate-vs-effort curves of Fig. 4.
+//
+// The layout is columnar: waypoints stream into the per-step effort and
+// label rasters one month at a time, every T×N raster shares a single
+// contiguous backing allocation, and feature vectors are views into one flat
+// row-major matrix. Builds therefore stay cache-friendly and
+// allocation-light up to million-cell parks (see BENCH_scale.json) without
+// changing any output byte.
 package dataset
 
 import (
@@ -43,14 +50,19 @@ type Step struct {
 	Months []int // simulated month indices composing the step
 }
 
-// Dataset is the processed view of a park's history.
+// Dataset is the processed view of a park's history. Its per-step rasters
+// are views into two flat T×N backing arrays (one float64 block for effort,
+// one bool block for labels) — the columnar layout that keeps 10^6-cell
+// parks to a handful of allocations instead of one per step.
 type Dataset struct {
 	Park  *geo.Park
 	Cfg   Config
 	Steps []Step
-	// Effort[t][cell] is patrol effort (km) rebuilt from waypoints.
+	// Effort[t][cell] is patrol effort (km) rebuilt from waypoints. Rows are
+	// contiguous slices of one backing array, in step order.
 	Effort [][]float64
 	// Label[t][cell] reports whether rangers recorded poaching in the cell.
+	// Rows share one backing array like Effort.
 	Label [][]bool
 }
 
@@ -69,16 +81,59 @@ type Point struct {
 // Build processes a simulated history into a dataset, rebuilding per-cell
 // patrol effort from the raw GPS waypoint stream (the paper's Section III-B
 // pipeline — the rebuilt effort is an approximation of the true path when
-// waypoints are sparse).
+// waypoints are sparse). The waypoint stream is consumed in contiguous
+// per-month chunks: histories recorded in month order (every simulator in
+// this repo) are sliced in place with no copying or map regrouping, and
+// unordered streams are grouped once by a stable counting sort — either way
+// each month's chunk streams through RebuildEffortInto in recording order,
+// so the rebuilt rasters are identical to the historical per-map grouping.
 func Build(h *poach.History, cfg Config) (*Dataset, error) {
-	// Group waypoints by month once.
-	byMonth := make(map[int][]poach.Waypoint)
-	for _, w := range h.Waypoints {
-		byMonth[w.Month] = append(byMonth[w.Month], w)
-	}
+	wps, off := groupWaypointsByMonth(h.Waypoints, h.Months)
 	return build(h, cfg, func(m int, dst []float64) {
-		RebuildEffortInto(h.Park, byMonth[m], dst)
+		if m >= 0 && m < len(off)-1 {
+			RebuildEffortInto(h.Park, wps[off[m]:off[m+1]], dst)
+		}
 	})
+}
+
+// groupWaypointsByMonth returns the waypoint stream arranged so that the
+// waypoints of month m occupy wps[off[m]:off[m+1]], preserving recording
+// order within each month. A stream already sorted by month — the layout
+// every simulator in this repo produces — is returned as-is (a view, no
+// copy); otherwise one stable counting-sort pass builds the arrangement.
+// Waypoints with months outside [0, months) are dropped, matching the old
+// map grouping (steps never query out-of-range months).
+func groupWaypointsByMonth(stream []poach.Waypoint, months int) (wps []poach.Waypoint, off []int) {
+	counts := make([]int, months+1)
+	sorted := true
+	prev := 0
+	inRange := 0
+	for _, w := range stream {
+		if w.Month < prev {
+			sorted = false
+		}
+		prev = w.Month
+		if w.Month >= 0 && w.Month < months {
+			counts[w.Month]++
+			inRange++
+		}
+	}
+	off = make([]int, months+1)
+	for m := 0; m < months; m++ {
+		off[m+1] = off[m] + counts[m]
+	}
+	if sorted && inRange == len(stream) {
+		return stream, off
+	}
+	wps = make([]poach.Waypoint, inRange)
+	next := append([]int(nil), off[:months]...)
+	for _, w := range stream {
+		if w.Month >= 0 && w.Month < months {
+			wps[next[w.Month]] = w
+			next[w.Month]++
+		}
+	}
+	return wps, off
 }
 
 // BuildFromEffort processes a history using its per-month effort maps
@@ -94,7 +149,10 @@ func BuildFromEffort(h *poach.History, cfg Config) (*Dataset, error) {
 }
 
 // build assembles steps, accumulating each month's effort into the step
-// raster via addEffort and labels from the poaching observations.
+// raster via addEffort and labels from the poaching observations. The
+// per-step effort and label rasters are carved out of two single T×N backing
+// allocations, and each step streams its months through the shared raster —
+// the chunked accumulation that replaces per-step makes and map lookups.
 func build(h *poach.History, cfg Config, addEffort func(month int, dst []float64)) (*Dataset, error) {
 	if cfg.MonthsPerStep <= 0 {
 		return nil, fmt.Errorf("dataset: MonthsPerStep must be positive, got %d", cfg.MonthsPerStep)
@@ -104,26 +162,69 @@ func build(h *poach.History, cfg Config, addEffort func(month int, dst []float64
 		return nil, fmt.Errorf("dataset: no steps produced for %d months", h.Months)
 	}
 	d := &Dataset{Park: h.Park, Cfg: cfg, Steps: steps}
-	obsByMonth := make(map[int][]poach.Observation)
-	for _, o := range h.Observations {
-		if o.Poaching {
-			obsByMonth[o.Month] = append(obsByMonth[o.Month], o)
+	// Month-slice the observation stream when it is already month-sorted
+	// (simulated histories always are); fall back to a map grouping only for
+	// unordered streams.
+	obsOff, obsSorted := observationOffsets(h.Observations, h.Months)
+	var obsByMonth map[int][]poach.Observation
+	if !obsSorted {
+		obsByMonth = make(map[int][]poach.Observation)
+		for _, o := range h.Observations {
+			if o.Poaching {
+				obsByMonth[o.Month] = append(obsByMonth[o.Month], o)
+			}
 		}
 	}
 	n := h.Park.Grid.NumCells()
-	for _, st := range steps {
-		eff := make([]float64, n)
-		lab := make([]bool, n)
+	T := len(steps)
+	effBack := make([]float64, T*n)
+	labBack := make([]bool, T*n)
+	d.Effort = make([][]float64, T)
+	d.Label = make([][]bool, T)
+	for t, st := range steps {
+		eff := effBack[t*n : (t+1)*n : (t+1)*n]
+		lab := labBack[t*n : (t+1)*n : (t+1)*n]
 		for _, m := range st.Months {
 			addEffort(m, eff)
+			if obsSorted {
+				if m >= 0 && m < len(obsOff)-1 {
+					for _, o := range h.Observations[obsOff[m]:obsOff[m+1]] {
+						if o.Poaching {
+							lab[o.CellID] = true
+						}
+					}
+				}
+				continue
+			}
 			for _, o := range obsByMonth[m] {
 				lab[o.CellID] = true
 			}
 		}
-		d.Effort = append(d.Effort, eff)
-		d.Label = append(d.Label, lab)
+		d.Effort[t] = eff
+		d.Label[t] = lab
 	}
 	return d, nil
+}
+
+// observationOffsets reports whether the observation stream is sorted by
+// month with all months in [0, months), and if so returns offsets such that
+// month m's observations (poaching and other, unfiltered) live at
+// obs[off[m]:off[m+1]].
+func observationOffsets(obs []poach.Observation, months int) (off []int, sorted bool) {
+	counts := make([]int, months+1)
+	prev := 0
+	for _, o := range obs {
+		if o.Month < prev || o.Month >= months {
+			return nil, false
+		}
+		prev = o.Month
+		counts[o.Month]++
+	}
+	off = make([]int, months+1)
+	for m := 0; m < months; m++ {
+		off[m+1] = off[m] + counts[m]
+	}
+	return off, true
 }
 
 // buildSteps maps simulated months into discretized steps.
@@ -217,18 +318,41 @@ func (d *Dataset) FeatureNames() []string {
 // PointsForSteps builds data points for steps in [from, to). Only patrolled
 // (effort > 0) cell-steps become points; step 0 is skipped when it has no
 // predecessor for the coverage covariate (its previous coverage is 0).
+//
+// The feature matrix is assembled columnar: one counting pass sizes a single
+// flat backing array of stride NumFeatures(), then each Point.Features is
+// filled in place as a view into it — no per-point slice allocation. Callers
+// therefore must not grow a point's feature slice; reading and element
+// writes behave exactly as before.
 func (d *Dataset) PointsForSteps(from, to int) []Point {
-	var pts []Point
 	nf := d.Park.NumFeatures()
-	for t := from; t < to && t < len(d.Steps); t++ {
-		if t < 0 {
-			continue
+	lo := from
+	if lo < 0 {
+		lo = 0
+	}
+	hi := to
+	if hi > len(d.Steps) {
+		hi = len(d.Steps)
+	}
+	count := 0
+	for t := lo; t < hi; t++ {
+		for _, e := range d.Effort[t] {
+			if e > 0 {
+				count++
+			}
 		}
+	}
+	pts := make([]Point, 0, count)
+	stride := nf + 1
+	back := make([]float64, count*stride)
+	k := 0
+	for t := lo; t < hi; t++ {
 		for cell, e := range d.Effort[t] {
 			if e <= 0 {
 				continue
 			}
-			f := make([]float64, nf+1)
+			f := back[k*stride : (k+1)*stride : (k+1)*stride]
+			k++
 			d.Park.FeatureVector(cell, f[:nf])
 			if t > 0 {
 				f[nf] = d.Effort[t-1][cell]

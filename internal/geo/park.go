@@ -289,31 +289,78 @@ func largestComponentWithTopUp(w, h int, mask []bool, order []rankedCell, target
 		}
 	}
 	// Top up to the exact target by repeatedly adding the highest-potential
-	// excluded cell adjacent to the kept region.
-	for count < target {
-		added := false
-		for _, o := range order {
-			if kept[o.idx] {
-				continue
-			}
-			x, y := o.idx%w, o.idx/w
-			adjacent := false
-			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-				nx, ny := x+d[0], y+d[1]
-				if nx >= 0 && nx < w && ny >= 0 && ny < h && kept[ny*w+nx] {
-					adjacent = true
+	// excluded cell adjacent to the kept region. The kept region only grows,
+	// so adjacency to it is monotone: once an excluded cell becomes adjacent
+	// it stays adjacent. A min-rank heap of adjacent excluded cells therefore
+	// selects exactly the cell a full rescan of `order` would — same cells,
+	// same insertion sequence — in near-linear time instead of quadratic,
+	// which is what keeps mask generation tractable when sized specs strand
+	// thousands of cells at 10^6-cell scale.
+	if count < target {
+		rank := make([]int32, w*h)
+		for pos, o := range order {
+			rank[o.idx] = int32(pos)
+		}
+		heap := make([]int32, 0, 1024)
+		less := func(a, b int32) bool { return rank[a] < rank[b] }
+		push := func(idx int32) {
+			heap = append(heap, idx)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !less(heap[i], heap[p]) {
 					break
 				}
-			}
-			if adjacent {
-				kept[o.idx] = true
-				count++
-				added = true
-				break
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
 			}
 		}
-		if !added {
-			break
+		pop := func() int32 {
+			top := heap[0]
+			last := len(heap) - 1
+			heap[0] = heap[last]
+			heap = heap[:last]
+			for i := 0; ; {
+				l, r := 2*i+1, 2*i+2
+				s := i
+				if l < last && less(heap[l], heap[s]) {
+					s = l
+				}
+				if r < last && less(heap[r], heap[s]) {
+					s = r
+				}
+				if s == i {
+					break
+				}
+				heap[i], heap[s] = heap[s], heap[i]
+				i = s
+			}
+			return top
+		}
+		inHeap := make([]bool, w*h)
+		pushExcludedNeighbors := func(idx int) {
+			x, y := idx%w, idx/w
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					continue
+				}
+				ni := ny*w + nx
+				if !kept[ni] && !inHeap[ni] {
+					inHeap[ni] = true
+					push(int32(ni))
+				}
+			}
+		}
+		for i := range kept {
+			if kept[i] {
+				pushExcludedNeighbors(i)
+			}
+		}
+		for count < target && len(heap) > 0 {
+			idx := int(pop())
+			kept[idx] = true
+			count++
+			pushExcludedNeighbors(idx)
 		}
 	}
 	// Trim overshoot (possible when the largest component exceeds target):

@@ -16,35 +16,64 @@ import (
 // The spec fully identifies the park: "rand:42" is the same park everywhere,
 // regardless of the caller's root seed, so fleets of diverse scenarios can be
 // swept and the results referenced by spec.
+//
+// A size suffix scales the same park family to arbitrary cell counts:
+// "rand:<seed>@<cells>" keeps every stylistic draw of "rand:<seed>" (shape,
+// aspect, fill, seasonality, feature count) but retargets the lattice to the
+// requested number of in-park cells, up to MaxSizedCells (10^6-cell parks for
+// the scale benchmarks). The cell count accepts both plain integers and
+// scientific notation ("250000", "1e6", "2.5e5").
 
-// RandPrefix marks a procedural park spec: "rand:<seed>".
+// RandPrefix marks a procedural park spec: "rand:<seed>" or
+// "rand:<seed>@<cells>".
 const RandPrefix = "rand:"
 
 // SpecHelp is the one-line description of valid park specs, for flag usage
 // strings and error messages.
-const SpecHelp = "MFNP, QENP, SWS or rand:<seed> (procedurally generated)"
+const SpecHelp = "MFNP, QENP, SWS, rand:<seed> or rand:<seed>@<cells> (procedurally generated; cells in [50, 2e6], forms like 250000 or 1e6)"
+
+// Bounds on the cell count of a sized procedural spec. The lower bound keeps
+// the mask builder's silhouette machinery meaningful; the upper bound caps
+// the lattice at a size the flat data path still handles in CI memory.
+const (
+	MinSizedCells = 50
+	MaxSizedCells = 2_000_000
+)
 
 // IsRandSpec reports whether spec names a procedural park.
 func IsRandSpec(spec string) bool { return strings.HasPrefix(spec, RandPrefix) }
 
-// ParseRandSpec parses a "rand:<seed>" spec into its procedural park
-// configuration. ok is false when spec lacks the rand: prefix; err is
-// non-nil when the prefix is present but the seed is malformed.
+// ParseRandSpec parses a "rand:<seed>" or "rand:<seed>@<cells>" spec into its
+// procedural park configuration. ok is false when spec lacks the rand:
+// prefix; err is non-nil when the prefix is present but the seed or cell
+// count is malformed.
 func ParseRandSpec(spec string) (cfg ParkConfig, ok bool, err error) {
 	if !IsRandSpec(spec) {
 		return ParkConfig{}, false, nil
 	}
-	seed, err := strconv.ParseInt(strings.TrimPrefix(spec, RandPrefix), 10, 64)
+	body := strings.TrimPrefix(spec, RandPrefix)
+	seedStr, sizeStr, sized := strings.Cut(body, "@")
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
 	if err != nil {
 		return ParkConfig{}, true, fmt.Errorf("geo: invalid park spec %q: seed must be an integer", spec)
 	}
-	return RandomConfig(seed), true, nil
+	if !sized {
+		return RandomConfig(seed), true, nil
+	}
+	f, err := strconv.ParseFloat(sizeStr, 64)
+	if err != nil || math.IsNaN(f) || f != math.Trunc(f) {
+		return ParkConfig{}, true, fmt.Errorf("geo: invalid park spec %q: cell count must be a whole number (like 250000 or 1e6)", spec)
+	}
+	if f < MinSizedCells || f > MaxSizedCells {
+		return ParkConfig{}, true, fmt.Errorf("geo: invalid park spec %q: cell count %v out of [%d, %d]", spec, f, MinSizedCells, MaxSizedCells)
+	}
+	return RandomConfigSized(seed, int(f)), true, nil
 }
 
-// ParseSpec resolves a park spec — a preset name or a rand:<seed> procedural
-// spec (see SpecHelp) — to its park configuration. Preset parks take their
-// generation seed from seed; procedural parks are identified entirely by the
-// spec and ignore it.
+// ParseSpec resolves a park spec — a preset name or a rand:<seed>[@<cells>]
+// procedural spec (see SpecHelp) — to its park configuration. Preset parks
+// take their generation seed from seed; procedural parks are identified
+// entirely by the spec and ignore it.
 func ParseSpec(spec string, seed int64) (ParkConfig, error) {
 	if cfg, ok := PresetByName(spec, seed); ok {
 		return cfg, nil
@@ -62,6 +91,25 @@ func ParseSpec(spec string, seed int64) (ParkConfig, error) {
 // count exactly (see buildMask), which the property tests assert over many
 // seeds.
 func RandomConfig(seed int64) ParkConfig {
+	return randomConfig(seed, 0)
+}
+
+// RandomConfigSized derives the configuration of "rand:<seed>@<cells>": the
+// same park family as RandomConfig(seed) — identical shape, aspect, fill and
+// seasonality draws, in the same RNG order — retargeted to exactly cells
+// in-park cells. Landmark counts scale with the park's linear dimension
+// (rivers and roads are curves, so their count grows with the perimeter, not
+// the area), capped so generation stays near-linear at 10^6 cells.
+func RandomConfigSized(seed int64, cells int) ParkConfig {
+	return randomConfig(seed, cells)
+}
+
+// randomConfig draws the procedural configuration. When sized > 0 the drawn
+// target cell count is overridden after all draws complete — never changing
+// the number or order of RNG consumptions — so the unsized spec remains
+// byte-identical to historical output and every size of one seed shares its
+// stylistic identity.
+func randomConfig(seed int64, sized int) ParkConfig {
 	r := rng.New(seed).Split("randpark")
 	shape := Shape(r.Intn(3))
 	cells := 350 + r.Intn(1050)
@@ -71,6 +119,29 @@ func RandomConfig(seed int64) ParkConfig {
 		aspect = 2.0 + r.Float64()
 	}
 	fill := 0.50 + 0.15*r.Float64()
+	numRivers := 2 + r.Intn(7)
+	numRoads := 2 + r.Intn(6)
+	numVillages := 3 + r.Intn(7)
+	numPosts := 3 + r.Intn(5)
+	extraFeatures := r.Intn(10)
+	seasonal := r.Float64() < 1.0/3
+
+	name := fmt.Sprintf("rand-%d", seed)
+	if sized > 0 {
+		name = fmt.Sprintf("rand-%d@%d", seed, sized)
+		// Linear-dimension scale relative to the drawn base size: a 100×
+		// larger area is 10× wider, so curve-like landmarks (rivers, roads)
+		// and boundary landmarks (villages) grow ~10×, not 100×. Posts are
+		// capped low — planning fans out per post, and real parks run few
+		// posts even at great size.
+		s := math.Sqrt(float64(sized) / float64(cells))
+		cells = sized
+		numRivers = scaleCount(numRivers, s, 40)
+		numRoads = scaleCount(numRoads, s, 32)
+		numVillages = scaleCount(numVillages, s, 64)
+		numPosts = scaleCount(numPosts, s, 16)
+	}
+
 	area := float64(cells) / fill
 	w := int(math.Sqrt(area*aspect) + 0.5)
 	h := int(area/float64(w) + 0.5)
@@ -84,17 +155,30 @@ func RandomConfig(seed int64) ParkConfig {
 		h++
 	}
 	return ParkConfig{
-		Name:          fmt.Sprintf("rand-%d", seed),
+		Name:          name,
 		Seed:          seed,
 		W:             w,
 		H:             h,
 		TargetCells:   cells,
 		Shape:         shape,
-		NumRivers:     2 + r.Intn(7),
-		NumRoads:      2 + r.Intn(6),
-		NumVillages:   3 + r.Intn(7),
-		NumPosts:      3 + r.Intn(5),
-		ExtraFeatures: r.Intn(10),
-		Seasonal:      r.Float64() < 1.0/3,
+		NumRivers:     numRivers,
+		NumRoads:      numRoads,
+		NumVillages:   numVillages,
+		NumPosts:      numPosts,
+		ExtraFeatures: extraFeatures,
+		Seasonal:      seasonal,
 	}
+}
+
+// scaleCount scales a landmark count by the linear factor s, keeping at
+// least the base count and at most max.
+func scaleCount(base int, s float64, max int) int {
+	n := int(float64(base)*s + 0.5)
+	if n < base {
+		n = base
+	}
+	if n > max {
+		n = max
+	}
+	return n
 }

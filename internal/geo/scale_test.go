@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParseSizedSpec covers the rand:<seed>@<cells> syntax: integer and
+// scientific-notation counts, and rejection of malformed or out-of-range
+// sizes.
+func TestParseSizedSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec  string
+		cells int
+	}{
+		{"rand:7@10000", 10000},
+		{"rand:7@1e6", 1000000},
+		{"rand:7@2.5e5", 250000},
+		{"rand:-3@50", 50},
+	} {
+		cfg, ok, err := ParseRandSpec(tc.spec)
+		if !ok || err != nil {
+			t.Fatalf("%s: ok=%v err=%v", tc.spec, ok, err)
+		}
+		if cfg.TargetCells != tc.cells {
+			t.Errorf("%s: TargetCells=%d, want %d", tc.spec, cfg.TargetCells, tc.cells)
+		}
+		if cfg != RandomConfigSized(cfg.Seed, tc.cells) {
+			t.Errorf("%s: spec does not match RandomConfigSized", tc.spec)
+		}
+	}
+	for _, bad := range []string{
+		"rand:7@", "rand:7@abc", "rand:7@1.5", "rand:7@1e99",
+		"rand:7@49", "rand:7@2000001", "rand:7@NaN", "rand:7@-100",
+	} {
+		if _, ok, err := ParseRandSpec(bad); !ok || err == nil {
+			t.Errorf("%s: accepted (ok=%v err=%v)", bad, ok, err)
+		}
+	}
+	// The unsized spec must keep resolving exactly as before.
+	cfg, ok, err := ParseRandSpec("rand:42")
+	if !ok || err != nil || cfg != RandomConfig(42) {
+		t.Fatalf("rand:42 = %+v, ok=%v, err=%v", cfg, ok, err)
+	}
+}
+
+// TestRandomConfigSizedSharesFamily asserts that sizing preserves the park's
+// stylistic identity: every draw-derived property other than the lattice and
+// the (scaled) landmark counts matches the unsized config for the same seed.
+func TestRandomConfigSizedSharesFamily(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		base := RandomConfig(seed)
+		sized := RandomConfigSized(seed, 100000)
+		if sized.Shape != base.Shape || sized.Seasonal != base.Seasonal ||
+			sized.ExtraFeatures != base.ExtraFeatures || sized.Seed != base.Seed {
+			t.Fatalf("seed %d: sized config left the family: %+v vs %+v", seed, sized, base)
+		}
+		if sized.TargetCells != 100000 {
+			t.Fatalf("seed %d: TargetCells=%d", seed, sized.TargetCells)
+		}
+		if sized.NumRivers < base.NumRivers || sized.NumRivers > 40 ||
+			sized.NumRoads < base.NumRoads || sized.NumRoads > 32 ||
+			sized.NumVillages < base.NumVillages || sized.NumVillages > 64 ||
+			sized.NumPosts < base.NumPosts || sized.NumPosts > 16 {
+			t.Fatalf("seed %d: landmark counts out of range: %+v", seed, sized)
+		}
+		// The aspect ratio survives sizing (within lattice rounding).
+		ar := func(c ParkConfig) float64 { return float64(c.W) / float64(c.H) }
+		if r := ar(sized) / ar(base); r < 0.8 || r > 1.25 {
+			t.Fatalf("seed %d: aspect drifted: %.2f vs %.2f", seed, ar(sized), ar(base))
+		}
+	}
+}
+
+// TestSizedParkInvariantsAtScale is the scale property test: sized parks at
+// 10^5 (and 10^6, skipped under -short) must satisfy the same invariants as
+// ordinary procedural parks — exact cell count, one 4-connected component,
+// closed boundary, finite rasters.
+func TestSizedParkInvariantsAtScale(t *testing.T) {
+	sizes := []int{100000}
+	if !testing.Short() {
+		sizes = append(sizes, 1000000)
+	}
+	for _, cells := range sizes {
+		cfg := RandomConfigSized(7, cells)
+		p, err := GeneratePark(cfg)
+		if err != nil {
+			t.Fatalf("cells=%d: %v", cells, err)
+		}
+		g := p.Grid
+		if g.NumCells() != cells {
+			t.Errorf("cells=%d: got %d cells", cells, g.NumCells())
+		}
+		if !connected4(g) {
+			t.Errorf("cells=%d: park mask is not one 4-connected component", cells)
+		}
+		boundary := 0
+		for id := 0; id < g.NumCells(); id++ {
+			x, y := g.CellXY(id)
+			interior := g.InPark(x+1, y) && g.InPark(x-1, y) && g.InPark(x, y+1) && g.InPark(x, y-1)
+			if interior == g.OnBoundary(id) {
+				t.Fatalf("cells=%d: cell %d interior=%v but OnBoundary=%v", cells, id, interior, g.OnBoundary(id))
+			}
+			if g.OnBoundary(id) {
+				boundary++
+			}
+		}
+		if boundary == 0 {
+			t.Errorf("cells=%d: no boundary cells", cells)
+		}
+		for j := 0; j < p.NumFeatures(); j++ {
+			for i, v := range p.Feature(j).V {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("cells=%d: feature %q not finite at cell %d", cells, p.FeatureNames[j], i)
+				}
+			}
+		}
+		if len(p.Posts) != cfg.NumPosts {
+			t.Errorf("cells=%d: %d posts, want %d", cells, len(p.Posts), cfg.NumPosts)
+		}
+	}
+}

@@ -326,6 +326,64 @@ func (m *Model) PredictWithVarianceForEffortBatch(X [][]float64, c float64) (p, 
 	return p, variance
 }
 
+// PredictForEffortFlat is PredictForEffortBatch over a flat matrix: the
+// qualified classifiers score the shared backing array directly, and the
+// per-point combination still runs in classifier order.
+func (m *Model) PredictForEffortFlat(X ml.Matrix, c float64) []float64 {
+	nq := m.qualifiedUpTo(c)
+	preds := par.Map(m.cfg.Workers, nq, func(i int) []float64 {
+		return ml.PredictAllFlat(m.classifiers[i], X)
+	})
+	out := make([]float64, X.Rows)
+	perPoint := make([]float64, nq)
+	for v := range out {
+		for i := 0; i < nq; i++ {
+			perPoint[i] = preds[i][v]
+		}
+		out[v] = m.combineQualified(perPoint, nq)
+	}
+	return out
+}
+
+// PredictWithVarianceForEffortFlat is PredictWithVarianceForEffortBatch over
+// a flat matrix, with the same classifier-order weighted combination.
+func (m *Model) PredictWithVarianceForEffortFlat(X ml.Matrix, c float64) (p, variance []float64) {
+	nq := m.qualifiedUpTo(c)
+	type clfOut struct{ p, v []float64 }
+	outs := par.Map(m.cfg.Workers, nq, func(i int) clfOut {
+		if uc, ok := m.classifiers[i].(ml.UncertaintyClassifier); ok {
+			pi, vi := ml.PredictWithVarianceAllFlat(uc, X)
+			return clfOut{p: pi, v: vi}
+		}
+		return clfOut{p: ml.PredictAllFlat(m.classifiers[i], X)}
+	})
+	p = make([]float64, X.Rows)
+	variance = make([]float64, X.Rows)
+	for row := range p {
+		var num, den, vnum float64
+		for i := 0; i < nq; i++ {
+			w := m.weights[i]
+			if w <= 0 {
+				continue
+			}
+			num += w * outs[i].p[row]
+			if outs[i].v != nil {
+				vnum += w * outs[i].v[row]
+			}
+			den += w
+		}
+		if den == 0 {
+			// Rare all-zero-weight case: defer to the pointwise fallback,
+			// which averages PredictProba (not the uncertainty-path mean)
+			// uniformly over the qualified classifiers.
+			p[row], variance[row] = m.PredictForEffort(X.Row(row), c), 0
+			continue
+		}
+		p[row], variance[row] = num/den, vnum/den
+	}
+	return p, variance
+}
+
 // PredictPoints scores test points at their recorded efforts — the Table II
 // evaluation mode. Points are scored in vectorized form: classifier i batch-
 // predicts exactly the points whose recorded effort qualifies it, with

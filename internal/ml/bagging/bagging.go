@@ -248,6 +248,27 @@ func (e *Ensemble) PredictProbaBatch(X [][]float64) []float64 {
 	return out
 }
 
+// PredictProbaFlat is PredictProbaBatch over a flat matrix: members score
+// the shared backing array directly (ml.PredictAllFlat), and the aggregation
+// still sums in member order, so the floats are unchanged.
+func (e *Ensemble) PredictProbaFlat(X ml.Matrix) []float64 {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	memberPreds := par.Map(e.cfg.Workers, len(e.members), func(b int) []float64 {
+		return ml.PredictAllFlat(e.members[b], X)
+	})
+	out := make([]float64, X.Rows)
+	for v := range out {
+		var s float64
+		for _, preds := range memberPreds {
+			s += e.calibrate(preds[v])
+		}
+		out[v] = s / float64(len(e.members))
+	}
+	return out
+}
+
 // MemberPredictions returns every member's calibrated probability for x.
 func (e *Ensemble) MemberPredictions(x []float64) []float64 {
 	out := make([]float64, len(e.members))
@@ -318,6 +339,55 @@ func (e *Ensemble) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64
 	ps := make([]float64, len(X))
 	vs := make([]float64, len(X))
 	for row := range X {
+		var mean, m2, intrinsic float64
+		hasIntrinsic := false
+		for i, mo := range outs {
+			pi := mo.p[row]
+			if mo.v != nil {
+				if mo.intrinsic {
+					hasIntrinsic = true
+				}
+				intrinsic += mo.v[row]
+			}
+			pi = e.calibrate(pi)
+			delta := pi - mean
+			mean += delta / float64(i+1)
+			m2 += delta * (pi - mean)
+		}
+		between := m2 / n
+		ps[row] = mean
+		if hasIntrinsic {
+			vs[row] = intrinsic/n + between
+		} else {
+			vs[row] = between
+		}
+	}
+	return ps, vs
+}
+
+// PredictWithVarianceFlat is PredictWithVarianceBatch over a flat matrix,
+// with the same member-order Welford recursion per row.
+func (e *Ensemble) PredictWithVarianceFlat(X ml.Matrix) ([]float64, []float64) {
+	if len(e.members) == 0 {
+		panic(ml.ErrNotFitted)
+	}
+	type memberOut struct {
+		p, v      []float64
+		intrinsic bool // counts toward the hasIntrinsic flag
+	}
+	outs := par.Map(e.cfg.Workers, len(e.members), func(b int) memberOut {
+		m := e.members[b]
+		if um, ok := m.(ml.UncertaintyClassifier); ok {
+			p, v := ml.PredictWithVarianceAllFlat(um, X)
+			_, isConst := m.(*ml.ConstantClassifier)
+			return memberOut{p: p, v: v, intrinsic: !isConst}
+		}
+		return memberOut{p: ml.PredictAllFlat(m, X)}
+	})
+	n := float64(len(e.members))
+	ps := make([]float64, X.Rows)
+	vs := make([]float64, X.Rows)
+	for row := range ps {
 		var mean, m2, intrinsic float64
 		hasIntrinsic := false
 		for i, mo := range outs {

@@ -34,7 +34,7 @@ type gpState struct {
 // GobEncode implements gob.GobEncoder.
 func (g *GP) GobEncode() ([]byte, error) {
 	st := gpState{
-		Cfg: g.cfg, Std: g.std, X: g.X, LS: g.ls,
+		Cfg: g.cfg, Std: g.std, X: g.xf.ToRows(), LS: g.ls,
 		Fhat: g.fhat, Grad: g.grad, WSqrt: g.wSqrt,
 		OddsInflation: g.oddsInflation, Fitted: g.fitted,
 	}
@@ -52,7 +52,8 @@ func (g *GP) GobDecode(b []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
 		return err
 	}
-	g.cfg, g.std, g.X, g.ls = st.Cfg, st.Std, st.X, st.LS
+	g.cfg, g.std, g.ls = st.Cfg, st.Std, st.LS
+	g.xf = ml.MatrixFromRows(st.X)
 	g.fhat, g.grad, g.wSqrt = st.Fhat, st.Grad, st.WSqrt
 	g.oddsInflation, g.fitted = st.OddsInflation, st.Fitted
 	g.chB = nil

@@ -11,6 +11,7 @@ package gp
 
 import (
 	"math"
+	"sync"
 
 	"paws/internal/mat"
 	"paws/internal/ml"
@@ -41,8 +42,8 @@ type GP struct {
 	cfg Config
 	std *ml.Standardizer
 
-	X  [][]float64 // standardized training subsample
-	ls float64     // resolved length scale
+	xf ml.Matrix // standardized training subsample, flat row-major
+	ls float64   // resolved length scale
 
 	// Laplace state (R&W notation).
 	fhat  []float64 // posterior mode
@@ -78,6 +79,7 @@ func New(cfg Config) *GP {
 
 // kernel is the RBF kernel on standardized inputs.
 func (g *GP) kernel(a, b []float64) float64 {
+	b = b[:len(a)] // hoist the bounds check out of the distance loop
 	var d2 float64
 	for j := range a {
 		d := a[j] - b[j]
@@ -100,17 +102,18 @@ func (g *GP) Fit(X [][]float64, y []int) error {
 		return err
 	}
 	g.std = std
-	g.X = std.TransformAll(sx)
+	Xs := std.TransformAll(sx)
+	g.xf = ml.MatrixFromRows(Xs)
 	g.ls = g.cfg.LengthScale
 	if g.ls <= 0 {
-		g.ls = medianHeuristic(g.X)
+		g.ls = medianHeuristic(Xs)
 	}
 
-	n := len(g.X)
+	n := g.xf.Rows
 	K := mat.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := g.kernel(g.X[i], g.X[j])
+			v := g.kernel(g.xf.Row(i), g.xf.Row(j))
 			if i == j {
 				v += g.cfg.Jitter
 			}
@@ -211,10 +214,10 @@ func (g *GP) Fit(X [][]float64, y []int) error {
 // Algorithm 3.2).
 func (g *GP) latent(x []float64) (mean, variance float64) {
 	z := g.std.Transform(x)
-	n := len(g.X)
+	n := g.xf.Rows
 	ks := make([]float64, n)
 	for i := 0; i < n; i++ {
-		ks[i] = g.kernel(z, g.X[i])
+		ks[i] = g.kernel(z, g.xf.Row(i))
 	}
 	mean = mat.Dot(ks, g.grad)
 	// v = L \ (W^{1/2} k*); Var = k** − vᵀv.
@@ -255,42 +258,79 @@ func (g *GP) PredictProbaBatch(X [][]float64) []float64 {
 	return p
 }
 
-// PredictWithVarianceBatch scores a whole matrix at once. The kernel vectors
-// of all query points are assembled first, then a single batched forward
-// substitution (mat.Cholesky.SolveLowerBatch) resolves every predictive
-// variance in one pass over L — instead of re-walking the factor per point
-// as the pointwise path does. The arithmetic per point is identical, so the
-// returned floats match PredictWithVariance bit for bit.
+// PredictWithVarianceBatch is the [][]float64 compatibility wrapper around
+// PredictWithVarianceFlat: rows are copied into a flat matrix (a storage
+// change only) and scored on the columnar path.
 func (g *GP) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64) {
+	return g.PredictWithVarianceFlat(ml.MatrixFromRows(X))
+}
+
+// PredictProbaFlat returns the class probability for every row of a flat
+// matrix.
+func (g *GP) PredictProbaFlat(X ml.Matrix) []float64 {
+	p, _ := g.PredictWithVarianceFlat(X)
+	return p
+}
+
+// PredictWithVarianceFlat scores a whole flat matrix at once — the columnar
+// hot path of the repo. The kernel vectors of all query points are assembled
+// into one backing buffer (which then becomes the W^{1/2}-weighted RHS block
+// in place), and a single batched forward substitution
+// (mat.Cholesky.SolveLowerFlat) resolves every predictive variance in one
+// unrolled pass over L — instead of re-walking the factor per point as the
+// pointwise path does. One standardization scratch vector serves every row.
+// The arithmetic per point is identical, so the returned floats match
+// PredictWithVariance bit for bit.
+func (g *GP) PredictWithVarianceFlat(X ml.Matrix) ([]float64, []float64) {
 	if !g.fitted {
 		panic(ml.ErrNotFitted)
 	}
-	m := len(X)
-	n := len(g.X)
-	means := make([]float64, m)
-	rhs := make([][]float64, m)
-	z := make([]float64, 0)
-	if m > 0 {
-		z = make([]float64, len(X[0]))
-	}
-	for r, x := range X {
-		g.std.TransformInto(x, z)
-		ks := make([]float64, n)
+	m := X.Rows
+	n := g.xf.Rows
+	// One pooled scratch block serves the RHS matrix, the latent means and
+	// the standardization buffer: map sweeps call this method thousands of
+	// times per second, and pooling keeps those calls allocation-free. Every
+	// scratch entry is overwritten before it is read, so reuse cannot change
+	// results.
+	buf := getScratch(m*n + m + X.Cols)
+	defer putScratch(buf)
+	rhs := buf[: m*n : m*n]
+	means := buf[m*n : m*n+m : m*n+m]
+	z := buf[m*n+m:]
+	// The kernel loop is inlined against the flat training matrix: same
+	// expressions as kernel() (difference loop, then SignalVar·exp(−d²/denom)
+	// with denom computed identically), walking g.xf.Data linearly.
+	sv := g.cfg.SignalVar
+	denom := 2 * g.ls * g.ls
+	xd := g.xf.Data
+	k := g.xf.Cols
+	for r := 0; r < m; r++ {
+		g.std.TransformInto(X.Row(r), z)
+		ks := rhs[r*n : (r+1)*n]
+		base := 0
 		for i := 0; i < n; i++ {
-			ks[i] = g.kernel(z, g.X[i])
+			xi := xd[base : base+k]
+			base += k
+			var d2 float64
+			for j, zj := range z {
+				d := zj - xi[j]
+				d2 += d * d
+			}
+			ks[i] = sv * math.Exp(-d2/denom)
 		}
 		means[r] = mat.Dot(ks, g.grad)
 		// Scale in place: ks is only needed as the W^{1/2}-weighted RHS now.
 		for i := 0; i < n; i++ {
 			ks[i] *= g.wSqrt[i]
 		}
-		rhs[r] = ks
 	}
-	V := g.chB.SolveLowerBatch(rhs)
+	// v_r = L \ (W^{1/2} k*_r), solved in place for all rows at once.
+	g.chB.SolveLowerFlat(rhs, m)
 	ps := make([]float64, m)
 	vs := make([]float64, m)
 	for r := 0; r < m; r++ {
-		variance := g.cfg.SignalVar + g.cfg.Jitter - mat.Dot(V[r], V[r])
+		v := rhs[r*n : (r+1)*n]
+		variance := g.cfg.SignalVar + g.cfg.Jitter - mat.Dot(v, v)
 		if variance < 0 {
 			variance = 0
 		}
@@ -300,6 +340,22 @@ func (g *GP) PredictWithVarianceBatch(X [][]float64) ([]float64, []float64) {
 	}
 	return ps, vs
 }
+
+// scratchPool recycles the flat batch path's scratch blocks. Buffers are
+// handed out with stale contents; callers must overwrite before reading.
+var scratchPool sync.Pool
+
+func getScratch(n int) []float64 {
+	if v := scratchPool.Get(); v != nil {
+		s := *(v.(*[]float64))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putScratch(s []float64) { scratchPool.Put(&s) }
 
 // oddsInflation measures how the subsample shifted class odds versus the
 // full set: (π_sub/(1−π_sub)) / (π_full/(1−π_full)). 1 when either set is
@@ -331,7 +387,7 @@ func (g *GP) LatentAt(x []float64) (mean, variance float64) {
 }
 
 // TrainSize returns the size of the training subsample actually used.
-func (g *GP) TrainSize() int { return len(g.X) }
+func (g *GP) TrainSize() int { return g.xf.Rows }
 
 // LengthScale returns the resolved RBF length scale.
 func (g *GP) LengthScale() float64 { return g.ls }

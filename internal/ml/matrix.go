@@ -1,0 +1,122 @@
+package ml
+
+import "fmt"
+
+// Matrix is a flat row-major feature matrix: Rows feature vectors of Cols
+// entries each, stored contiguously in Data with stride Cols. It is the
+// columnar (structure-of-arrays) counterpart of [][]float64 — one backing
+// allocation instead of one per row, cache-linear row iteration, and cheap
+// sub-range views. Row and Slice return views into the same backing array;
+// mutating a view mutates the matrix.
+type Matrix struct {
+	Data []float64
+	Rows int
+	Cols int
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix in one backing slice.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+}
+
+// MatrixFromRows copies X into a freshly allocated flat matrix. Rows must be
+// rectangular; it panics otherwise (callers validate with CheckXY upstream).
+func MatrixFromRows(X [][]float64) Matrix {
+	if len(X) == 0 {
+		return Matrix{}
+	}
+	m := NewMatrix(len(X), len(X[0]))
+	for i, row := range X {
+		if len(row) != m.Cols {
+			panic(fmt.Sprintf("ml: row %d has %d features, want %d", i, len(row), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Row returns the i-th feature vector as a view into the backing array.
+func (m Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
+// Slice returns the [lo, hi) row range as a view sharing the backing array.
+func (m Matrix) Slice(lo, hi int) Matrix {
+	return Matrix{Data: m.Data[lo*m.Cols : hi*m.Cols], Rows: hi - lo, Cols: m.Cols}
+}
+
+// ToRows returns per-row views over the backing array — the zero-copy bridge
+// to [][]float64 APIs. The views alias the matrix; do not mutate them.
+func (m Matrix) ToRows() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// FlatBatchClassifier is a BatchClassifier that can additionally score a flat
+// row-major matrix directly, without per-row slice headers or gather copies.
+// Implementations must return exactly the floats the pointwise path would —
+// flat layout is a storage change, never an arithmetic one.
+type FlatBatchClassifier interface {
+	Classifier
+	// PredictProbaFlat returns PredictProba for every row of X.
+	PredictProbaFlat(X Matrix) []float64
+}
+
+// FlatBatchUncertaintyClassifier is the flat form of
+// BatchUncertaintyClassifier.
+type FlatBatchUncertaintyClassifier interface {
+	UncertaintyClassifier
+	// PredictWithVarianceFlat returns PredictWithVariance for every row of X
+	// as parallel probability and variance slices.
+	PredictWithVarianceFlat(X Matrix) (p, variance []float64)
+}
+
+// PredictAllFlat scores every row of a flat matrix, preferring the flat fast
+// path, then the [][]-batch path over zero-copy row views, then pointwise.
+func PredictAllFlat(c Classifier, X Matrix) []float64 {
+	if fc, ok := c.(FlatBatchClassifier); ok {
+		return fc.PredictProbaFlat(X)
+	}
+	if bc, ok := c.(BatchClassifier); ok {
+		return bc.PredictProbaBatch(X.ToRows())
+	}
+	out := make([]float64, X.Rows)
+	for i := range out {
+		out[i] = c.PredictProba(X.Row(i))
+	}
+	return out
+}
+
+// PredictWithVarianceAllFlat scores every row of a flat matrix with
+// uncertainty, with PredictAllFlat's dispatch order.
+func PredictWithVarianceAllFlat(c UncertaintyClassifier, X Matrix) (p, variance []float64) {
+	if fc, ok := c.(FlatBatchUncertaintyClassifier); ok {
+		return fc.PredictWithVarianceFlat(X)
+	}
+	if bc, ok := c.(BatchUncertaintyClassifier); ok {
+		return bc.PredictWithVarianceBatch(X.ToRows())
+	}
+	p = make([]float64, X.Rows)
+	variance = make([]float64, X.Rows)
+	for i := range p {
+		p[i], variance[i] = c.PredictWithVariance(X.Row(i))
+	}
+	return p, variance
+}
+
+// PredictProbaFlat returns the stored constant for every row.
+func (c *ConstantClassifier) PredictProbaFlat(X Matrix) []float64 {
+	out := make([]float64, X.Rows)
+	for i := range out {
+		out[i] = c.P
+	}
+	return out
+}
+
+// PredictWithVarianceFlat returns the constant with zero variance per row.
+func (c *ConstantClassifier) PredictWithVarianceFlat(X Matrix) ([]float64, []float64) {
+	return c.PredictProbaFlat(X), make([]float64, X.Rows)
+}

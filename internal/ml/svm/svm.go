@@ -186,6 +186,24 @@ func (s *SVM) PredictProbaBatch(X [][]float64) []float64 {
 	return out
 }
 
+// PredictProbaFlat scores every row of a flat matrix with
+// PredictProbaBatch's one-buffer standardization — the columnar fast path.
+func (s *SVM) PredictProbaFlat(X ml.Matrix) []float64 {
+	if !s.fitted {
+		panic(ml.ErrNotFitted)
+	}
+	out := make([]float64, X.Rows)
+	if X.Rows == 0 {
+		return out
+	}
+	z := make([]float64, X.Cols)
+	for i := 0; i < X.Rows; i++ {
+		s.std.TransformInto(X.Row(i), z)
+		out[i] = stats.Logistic(s.plattA*s.decision(z) + s.plattB)
+	}
+	return out
+}
+
 // Decision returns the raw (uncalibrated) margin for x.
 func (s *SVM) Decision(x []float64) float64 {
 	if !s.fitted {

@@ -209,6 +209,16 @@ func (t *Tree) PredictProbaBatch(X [][]float64) []float64 {
 	return out
 }
 
+// PredictProbaFlat scores every row of a flat matrix with one tree walk per
+// row, iterating the backing array without per-row slice headers.
+func (t *Tree) PredictProbaFlat(X ml.Matrix) []float64 {
+	out := make([]float64, X.Rows)
+	for i := range out {
+		out[i] = t.PredictProba(X.Row(i))
+	}
+	return out
+}
+
 // Depth returns the maximum depth of the fitted tree (0 for a stump).
 func (t *Tree) Depth() int { return depth(t.root) }
 

@@ -19,6 +19,12 @@
 // product is still univariate — see DESIGN.md) and maximizes Σ_v U_v(c_v)
 // subject to the flow polytope, as a MILP when any sampled U_v is
 // non-concave.
+//
+// For parks far larger than a patrol's reach, SolveHierarchical first runs
+// a coarse Frank-Wolfe pass over f×f super-cell aggregates to decide where
+// the effort mass belongs, grows the post's fine region toward that mass,
+// and then solves the ordinary problem inside it (see hierarchy.go). This
+// keeps planning interactive at 10^6 cells.
 package plan
 
 import (

@@ -470,6 +470,9 @@ type PlanRequest struct {
 	K         float64 `json:"k,omitempty"`
 	Segments  int     `json:"segments,omitempty"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	// Hierarchical forces the coarse super-cell targeting pass on or off.
+	// Absent, the server decides by park size (paws.HierAutoCells).
+	Hierarchical *bool `json:"hierarchical,omitempty"`
 }
 
 // PlanResponse is the deployment artifact: planned effort per region cell
@@ -483,6 +486,9 @@ type PlanResponse struct {
 	Routes    [][]int   `json:"routes"`
 	Objective float64   `json:"objective"`
 	RuntimeMS float64   `json:"runtime_ms"`
+	// Hierarchical reports whether the coarse targeting pass shaped the
+	// region (requested explicitly or auto-enabled by park size).
+	Hierarchical bool `json:"hierarchical,omitempty"`
 }
 
 // ------------------------------------------------------------ /v1/simulate
@@ -616,19 +622,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if req.T > 0 || req.K > 0 || req.Segments > 0 {
 		opts = append(opts, paws.WithPlanHorizon(req.T, req.K, req.Segments))
 	}
+	if req.Hierarchical != nil {
+		opts = append(opts, paws.WithHierarchical(*req.Hierarchical))
+	}
 	res, err := s.svc.Plan(ctx, req.Model, req.Post, req.Beta, opts...)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PlanResponse{
-		Model:     res.Model,
-		Post:      res.Post,
-		Beta:      res.Beta,
-		Cells:     res.Cells,
-		Effort:    res.Effort,
-		Routes:    res.Routes,
-		Objective: res.Objective,
-		RuntimeMS: res.RuntimeMS,
+		Model:        res.Model,
+		Post:         res.Post,
+		Beta:         res.Beta,
+		Cells:        res.Cells,
+		Effort:       res.Effort,
+		Routes:       res.Routes,
+		Objective:    res.Objective,
+		RuntimeMS:    res.RuntimeMS,
+		Hierarchical: res.Hierarchical,
 	})
 }

@@ -57,6 +57,8 @@ type settings struct {
 	horizonK      float64
 	segments      int
 	solver        plan.SolverKind
+	hierarchical  bool
+	hierSet       bool
 
 	// Field tests.
 	perGroup           int
@@ -187,6 +189,16 @@ func WithPlanHorizon(t int, k float64, segments int) Option {
 // WithSolver pins the planning strategy (default plan.SolverAuto).
 func WithSolver(kind plan.SolverKind) Option {
 	return func(s *settings) { s.solver = kind }
+}
+
+// WithHierarchical forces hierarchical planning on or off for Service.Plan:
+// a coarse Frank-Wolfe pass over aggregated super-cells targets the post's
+// refined region before the standard per-post solve (see plan.SolveHierarchical).
+// When unset, Plan enables it automatically for parks with at least
+// HierAutoCells cells, where a flat breadth-first region would see an
+// arbitrary sliver of the park.
+func WithHierarchical(on bool) Option {
+	return func(s *settings) { s.hierarchical = on; s.hierSet = true }
 }
 
 // WithFieldProtocol tunes the Table III field-test protocol: blocks

@@ -468,6 +468,24 @@ func (m *Model) PredictWithVarianceBatch(X [][]float64, effort float64) (p, vari
 	return m.plain.PredictWithVarianceBatch(X)
 }
 
+// PredictForEffortFlat is PredictForEffortBatch over a flat row-major
+// matrix — the columnar fast path the planner and serving layers use.
+func (m *Model) PredictForEffortFlat(X ml.Matrix, effort float64) []float64 {
+	if m.iw != nil {
+		return m.iw.PredictForEffortFlat(X, effort)
+	}
+	return m.plain.PredictProbaFlat(X)
+}
+
+// PredictWithVarianceFlat is PredictWithVarianceBatch over a flat row-major
+// matrix.
+func (m *Model) PredictWithVarianceFlat(X ml.Matrix, effort float64) (p, variance []float64) {
+	if m.iw != nil {
+		return m.iw.PredictWithVarianceForEffortFlat(X, effort)
+	}
+	return m.plain.PredictWithVarianceFlat(X)
+}
+
 // PredictPoints scores test points at their recorded efforts via the
 // vectorized prediction paths.
 func (m *Model) PredictPoints(pts []dataset.Point) []float64 {

@@ -8,6 +8,7 @@ import (
 
 	"paws/internal/dataset"
 	"paws/internal/iware"
+	"paws/internal/ml"
 	"paws/internal/par"
 	"paws/internal/stats"
 )
@@ -23,8 +24,11 @@ import (
 // API (Workers controls the fan-out).
 type PlannerModel struct {
 	model *Model
-	// features[cell] is the frozen feature vector per park cell.
-	features [][]float64
+	// features holds the frozen per-cell feature vectors as one flat
+	// row-major matrix (row = cell, stride = NumFeatures()+1): a single
+	// backing allocation instead of one slice per cell, which is what keeps
+	// 10^6-cell parks inside the serving memory budget.
+	features ml.Matrix
 	// squashLo anchors the squashing: variances at or below the park's 10th
 	// percentile map to ~0 uncertainty.
 	squashLo float64
@@ -109,26 +113,31 @@ func NewPlannerModelCtx(ctx context.Context, m *Model, d *dataset.Dataset, prevS
 	n := d.Park.Grid.NumCells()
 	nf := d.Park.NumFeatures()
 	pm := &PlannerModel{model: m, Workers: workers, memo: make([]cellMemo, n)}
-	pm.features = make([][]float64, n)
+	pm.features = ml.NewMatrix(n, nf+1)
 	for cell := 0; cell < n; cell++ {
-		f := make([]float64, nf+1)
+		f := pm.features.Row(cell)
 		d.Park.FeatureVector(cell, f[:nf])
 		f[nf] = d.Effort[prevStep][cell]
-		pm.features[cell] = f
 	}
 	// Calibrate the squashing on the park-wide variance distribution at a
 	// moderate effort level: the 10th percentile maps to ~0 and the 90th to
 	// ~0.96, so uncertainty scores use the full [0,1] range (Section VI-C).
 	// The sample is evaluated in parallel batch chunks.
 	stride := n/200 + 1
-	var sample [][]float64
+	var cells []int
 	for cell := 0; cell < n; cell += stride {
-		sample = append(sample, pm.features[cell])
+		cells = append(cells, cell)
 	}
-	vs := make([]float64, len(sample))
-	err := par.ForEachSliceCtx(ctx, pm.Workers, len(sample), mapChunkSize, func(lo, hi int) {
-		_, chunk := m.PredictWithVarianceBatch(sample[lo:hi], 2)
-		copy(vs[lo:hi], chunk)
+	sample := ml.NewMatrix(len(cells), nf+1)
+	for i, cell := range cells {
+		copy(sample.Row(i), pm.features.Row(cell))
+	}
+	ps := make([]float64, len(cells))
+	vs := make([]float64, len(cells))
+	err := par.ForEachSliceCtx(ctx, pm.Workers, len(cells), mapChunkSize, func(lo, hi int) {
+		pc, vc := m.PredictWithVarianceFlat(sample.Slice(lo, hi), calibrationEffort)
+		copy(ps[lo:hi], pc)
+		copy(vs[lo:hi], vc)
 	})
 	if err != nil {
 		return nil, err
@@ -140,8 +149,20 @@ func NewPlannerModelCtx(ctx context.Context, m *Model, d *dataset.Dataset, prevS
 	if pm.squashScale <= 1e-12 {
 		pm.squashScale = 1
 	}
+	// The calibration sample already evaluated every strided cell at the
+	// calibration effort; memoize those predictions (squashed with the scale
+	// just fixed) so a subsequent map sweep at the same effort — the common
+	// serving pattern — skips them instead of re-evaluating.
+	for i, cell := range cells {
+		pm.memo[cell].put(calibrationEffort, [2]float64{ps[i], iware.SquashVariance(vs[i]-pm.squashLo, pm.squashScale)})
+	}
 	return pm, nil
 }
+
+// calibrationEffort is the moderate effort level the squashing calibration
+// evaluates its cell sample at (and memoizes, since variance percentiles are
+// park properties, not per-request ones).
+const calibrationEffort = 2
 
 // Detect returns g_v(c): the model's detection probability for the cell at
 // planned effort c.
@@ -160,7 +181,7 @@ func (pm *PlannerModel) lookup(cell int, effort float64) [2]float64 {
 	}
 	// Compute outside the lock so concurrent lookups of different cells (or
 	// breakpoints) never serialize on the model evaluation.
-	p, variance := pm.model.PredictWithVariance(pm.features[cell], effort)
+	p, variance := pm.model.PredictWithVariance(pm.features.Row(cell), effort)
 	out := [2]float64{p, iware.SquashVariance(variance-pm.squashLo, pm.squashScale)}
 	pm.memo[cell].put(effort, out)
 	return out
@@ -174,41 +195,45 @@ func (pm *PlannerModel) SquashScale() float64 { return pm.squashScale }
 // enough that the GP's batched back-substitution still amortizes its pass
 // over the Cholesky factor. Chunk boundaries never change the floats (every
 // batch path is row-independent), so this is purely a latency/cancellation
-// knob.
+// knob. 128 rows also keep the flat per-chunk scratch (rows × GP subsample)
+// inside L1/L2 for the columnar path — larger chunks measurably lose more to
+// cache misses than they gain in amortized dispatch.
 const mapChunkSize = 128
 
-// evalAll evaluates every park cell at one effort, reusing memoized entries
-// and batch-evaluating the missing cells in parallel chunks. Newly computed
-// cells are memoized for the planner's subsequent pointwise lookups. The
-// context is observed between chunks; on cancellation the partially
-// evaluated map is discarded (memoized entries are kept — they are exact).
-func (pm *PlannerModel) evalAll(ctx context.Context, effort float64) ([][2]float64, error) {
-	n := len(pm.features)
-	out := make([][2]float64, n)
+// evalInto evaluates every park cell at one effort, writing the detection
+// probabilities and squashed uncertainties into the caller's preallocated
+// column slices (each of length NumCells). Memoized entries are copied out
+// first; the missing cells are gathered into flat chunk matrices and
+// batch-evaluated in parallel (the chunk scratch is per-worker, the writes
+// are index-owned, so output is identical for any worker count). Newly
+// computed cells are memoized for the planner's subsequent pointwise
+// lookups. The context is observed between chunks; on cancellation the
+// partially written columns are invalid (memoized entries are kept — they
+// are exact).
+func (pm *PlannerModel) evalInto(ctx context.Context, effort float64, risk, unc []float64) error {
+	n := pm.features.Rows
 	var missing []int
 	for cell := 0; cell < n; cell++ {
 		if v, ok := pm.memo[cell].get(effort); ok {
-			out[cell] = v
+			risk[cell] = v[0]
+			unc[cell] = v[1]
 		} else {
 			missing = append(missing, cell)
 		}
 	}
-	err := par.ForEachSliceCtx(ctx, pm.Workers, len(missing), mapChunkSize, func(lo, hi int) {
-		rows := make([][]float64, hi-lo)
+	return par.ForEachSliceCtx(ctx, pm.Workers, len(missing), mapChunkSize, func(lo, hi int) {
+		rows := ml.NewMatrix(hi-lo, pm.features.Cols)
 		for k, cell := range missing[lo:hi] {
-			rows[k] = pm.features[cell]
+			copy(rows.Row(k), pm.features.Row(cell))
 		}
-		ps, vars := pm.model.PredictWithVarianceBatch(rows, effort)
+		ps, vars := pm.model.PredictWithVarianceFlat(rows, effort)
 		for k, cell := range missing[lo:hi] {
 			v := [2]float64{ps[k], iware.SquashVariance(vars[k]-pm.squashLo, pm.squashScale)}
-			out[cell] = v
+			risk[cell] = v[0]
+			unc[cell] = v[1]
 			pm.memo[cell].put(effort, v)
 		}
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // RiskMap evaluates the model over every park cell at a nominal effort,
@@ -222,15 +247,11 @@ func (pm *PlannerModel) RiskMap(effort float64) []float64 {
 // canceled or expired context aborts the park sweep early with the
 // context's error.
 func (pm *PlannerModel) RiskMapCtx(ctx context.Context, effort float64) ([]float64, error) {
-	vals, err := pm.evalAll(ctx, effort)
-	if err != nil {
+	risk, unc := make([]float64, pm.features.Rows), make([]float64, pm.features.Rows)
+	if err := pm.evalInto(ctx, effort, risk, unc); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(vals))
-	for cell, v := range vals {
-		out[cell] = v[0]
-	}
-	return out, nil
+	return risk, nil
 }
 
 // UncertaintyMap evaluates the squashed uncertainty over every park cell at
@@ -243,15 +264,11 @@ func (pm *PlannerModel) UncertaintyMap(effort float64) []float64 {
 // UncertaintyMapCtx is UncertaintyMap under a context, with RiskMapCtx's
 // cancellation semantics.
 func (pm *PlannerModel) UncertaintyMapCtx(ctx context.Context, effort float64) ([]float64, error) {
-	vals, err := pm.evalAll(ctx, effort)
-	if err != nil {
+	risk, unc := make([]float64, pm.features.Rows), make([]float64, pm.features.Rows)
+	if err := pm.evalInto(ctx, effort, risk, unc); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(vals))
-	for cell, v := range vals {
-		out[cell] = v[1]
-	}
-	return out, nil
+	return unc, nil
 }
 
 // MapsCtx evaluates risk and uncertainty together in one park sweep — the
@@ -259,15 +276,10 @@ func (pm *PlannerModel) UncertaintyMapCtx(ctx context.Context, effort float64) (
 // computing them jointly halves the model work of calling RiskMapCtx then
 // UncertaintyMapCtx on a cold memo.
 func (pm *PlannerModel) MapsCtx(ctx context.Context, effort float64) (risk, uncertainty []float64, err error) {
-	vals, err := pm.evalAll(ctx, effort)
-	if err != nil {
+	risk = make([]float64, pm.features.Rows)
+	uncertainty = make([]float64, pm.features.Rows)
+	if err := pm.evalInto(ctx, effort, risk, uncertainty); err != nil {
 		return nil, nil, err
-	}
-	risk = make([]float64, len(vals))
-	uncertainty = make([]float64, len(vals))
-	for cell, v := range vals {
-		risk[cell] = v[0]
-		uncertainty[cell] = v[1]
 	}
 	return risk, uncertainty, nil
 }
@@ -277,9 +289,9 @@ func (pm *PlannerModel) MapsCtx(ctx context.Context, effort float64) (risk, unce
 // not memoized (the planner never queries them), so this always evaluates
 // the full park in parallel chunks.
 func (pm *PlannerModel) RawVarianceMap(effort float64) []float64 {
-	out := make([]float64, len(pm.features))
-	par.ForEachChunk(pm.Workers, len(pm.features), func(lo, hi int) {
-		_, vars := pm.model.PredictWithVarianceBatch(pm.features[lo:hi], effort)
+	out := make([]float64, pm.features.Rows)
+	par.ForEachChunk(pm.Workers, pm.features.Rows, func(lo, hi int) {
+		_, vars := pm.model.PredictWithVarianceFlat(pm.features.Slice(lo, hi), effort)
 		copy(out[lo:hi], vars)
 	})
 	return out

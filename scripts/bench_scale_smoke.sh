@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Scale smoke test: the columnar data path on a 10^4-cell procedural park
+# (rand:7@10000) through build → train → risk maps → hierarchical plan, with
+# every output byte-compared across -workers 1 and 8, plus the /v1/plan HTTP
+# round trip — all under a wall budget. Also vets and race-tests the packages
+# the scale work refactored. Used by CI and runnable locally:
+# ./scripts/bench_scale_smoke.sh
+set -euo pipefail
+
+# Wall budget in seconds for the smoke tests (the 10^4 fixture builds in
+# seconds; the budget exists to catch accidental quadratic regressions).
+BUDGET="${PAWS_SCALE_SMOKE_BUDGET:-600}"
+
+echo "== vet refactored packages"
+go vet ./internal/dataset ./internal/geo ./internal/plan ./internal/ml/... .
+
+echo "== race-test the planner and geometry under -short"
+go test -race -short -count=1 ./internal/plan ./internal/geo
+
+echo "== scale smoke (workers 1/8 diff) + /v1/plan end-to-end at 1e4 cells"
+PAWS_SCALE_SMOKE=1 PAWS_SCALE_E2E=1e4 timeout "$BUDGET" \
+  go test -run 'TestScaleSmoke|TestScalePlanEndToEnd' -count=1 -v .
+
+echo "scale smoke test passed"

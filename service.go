@@ -10,6 +10,7 @@ import (
 
 	"paws/internal/dataset"
 	"paws/internal/geo"
+	"paws/internal/ml"
 	"paws/internal/par"
 	"paws/internal/plan"
 )
@@ -318,17 +319,17 @@ func (s *Service) PredictCells(ctx context.Context, name string, cells []int, ef
 	if err != nil {
 		return nil, err
 	}
-	n := len(sm.pm.features)
-	X := make([][]float64, len(cells))
+	n := sm.pm.features.Rows
+	X := ml.NewMatrix(len(cells), sm.pm.features.Cols)
 	for i, c := range cells {
 		if c < 0 || c >= n {
 			return nil, fmt.Errorf("paws: cell %d out of range [0, %d)", c, n)
 		}
-		X[i] = sm.pm.features[c]
+		copy(X.Row(i), sm.pm.features.Row(c))
 	}
-	out := make([]float64, len(X))
-	err = par.ForEachSliceCtx(ctx, s.settingsFor(opts).workers, len(X), predictChunkSize, func(lo, hi int) {
-		copy(out[lo:hi], sm.Model.PredictForEffortBatch(X[lo:hi], effort))
+	out := make([]float64, X.Rows)
+	err = par.ForEachSliceCtx(ctx, s.settingsFor(opts).workers, X.Rows, predictChunkSize, func(lo, hi int) {
+		copy(out[lo:hi], sm.Model.PredictForEffortFlat(X.Slice(lo, hi), effort))
 	})
 	if err != nil {
 		return nil, err
@@ -363,7 +364,17 @@ type PlanResult struct {
 	// Objective is the robust utility of the plan; RuntimeMS the solve time.
 	Objective float64
 	RuntimeMS float64
+	// Hierarchical reports that the region was targeted by the coarse
+	// super-cell pass (WithHierarchical, or automatic above HierAutoCells).
+	Hierarchical bool
 }
+
+// HierAutoCells is the park size at which Service.Plan switches to
+// hierarchical planning by default: above it, a flat breadth-first region
+// around the post covers so little of the park that region choice, not the
+// solve, dominates plan quality. WithHierarchical overrides the default
+// either way.
+const HierAutoCells = 20_000
 
 // Plan computes a robust patrol plan for one patrol post of a registered
 // model (post indexes the park's post list). Region shape and planning
@@ -372,6 +383,11 @@ type PlanResult struct {
 // before and after the solve (the LP/MILP solve itself is not
 // interruptible); keep regions bounded via WithRegionShape for
 // latency-sensitive serving.
+//
+// On parks of HierAutoCells cells or more (or when WithHierarchical(true) is
+// set), the region is targeted hierarchically: a coarse Frank-Wolfe pass over
+// aggregated super-cells decides where in the park the post's bounded region
+// should grow, so /v1/plan stays interactive at 10^6 cells.
 func (s *Service) Plan(ctx context.Context, name string, post int, beta float64, opts ...Option) (*PlanResult, error) {
 	sm, err := s.served(name)
 	if err != nil {
@@ -404,12 +420,23 @@ func (s *Service) Plan(ctx context.Context, name string, post int, beta float64,
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	region, err := plan.NewRegion(sm.park, sm.park.Posts[post], radius, maxCells)
-	if err != nil {
-		return nil, err
-	}
 	cfg := plan.Config{T: t, K: k, Segments: segments, Beta: beta, Solver: st.solver, Workers: st.workers}
-	p, err := plan.Solve(region, sm.pm, cfg)
+	useHier := st.hierarchical
+	if !st.hierSet {
+		useHier = sm.park.Grid.NumCells() >= HierAutoCells
+	}
+	var region *plan.Region
+	var p *plan.Plan
+	if useHier {
+		p, region, err = plan.SolveHierarchical(sm.park, sm.park.Posts[post], sm.pm,
+			cfg, plan.HierOptions{FineMaxCells: maxCells, Workers: st.workers})
+	} else {
+		region, err = plan.NewRegion(sm.park, sm.park.Posts[post], radius, maxCells)
+		if err != nil {
+			return nil, err
+		}
+		p, err = plan.Solve(region, sm.pm, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -425,13 +452,14 @@ func (s *Service) Plan(ctx context.Context, name string, post int, beta float64,
 		return nil, err
 	}
 	res := &PlanResult{
-		Model:     name,
-		Post:      post,
-		Beta:      beta,
-		Cells:     append([]int(nil), region.Cells...),
-		Effort:    append([]float64(nil), p.Effort...),
-		Objective: p.Objective,
-		RuntimeMS: float64(p.Runtime.Microseconds()) / 1000,
+		Model:        name,
+		Post:         post,
+		Beta:         beta,
+		Cells:        append([]int(nil), region.Cells...),
+		Effort:       append([]float64(nil), p.Effort...),
+		Objective:    p.Objective,
+		RuntimeMS:    float64(p.Runtime.Microseconds()) / 1000,
+		Hierarchical: useHier,
 	}
 	for _, r := range routes {
 		res.Routes = append(res.Routes, r.ParkCells(region))
