@@ -20,6 +20,27 @@
 //	curl -sN localhost:8080/v1/jobs/j-000001/events   # NDJSON stream
 //	curl -s localhost:8080/v1/jobs/j-000001/result
 //
+// # Fleet mode
+//
+// N replicas share one on-disk model store (-store DIR, typically on a
+// shared filesystem) and sit behind the pawsgate routing proxy:
+//
+//	pawsd -replica a -store /srv/paws/models -train -addr :8081
+//	pawsd -replica b -store /srv/paws/models -addr :8082   # store-only
+//	pawsgate -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// A replica started with -store and neither -model nor -train serves
+// purely from the store: it registers every published model (regenerating
+// each serving context deterministically from the store entry's
+// park/scale/seed) and polls the index (-store-poll) for new publications.
+// Train jobs publish their results to the store, so a model trained via
+// any replica becomes servable by every replica within one poll interval.
+// -replica namespaces job IDs ("j-a-000001") so the gate can route job
+// polls to the replica that owns the job, and GET /statusz reports queue
+// depth and admission state for the gate's least-loaded routing.
+// -admission-budget and -admission-max-queue shed job submissions with
+// 429 + Retry-After once the estimated backlog exceeds the budget.
+//
 // On SIGINT/SIGTERM the HTTP listener stops first, then the job layer
 // drains: running and queued jobs finish (bounded by -drain), so a
 // graceful restart never abandons accepted work mid-run.
@@ -48,32 +69,61 @@ import (
 
 	"paws"
 	"paws/internal/serve"
+	"paws/internal/store"
 )
 
+// options collects pawsd's flag values.
+type options struct {
+	addr, name, park, scaleStr, kindStr, modelPath string
+	seed                                           int64
+	train                                          bool
+	trainYears, cvFolds, workers                   int
+	timeout                                        time.Duration
+	cacheSize                                      int
+	jobWorkers                                     int
+	jobTTL                                         time.Duration
+	jobRetain                                      int
+	drain                                          time.Duration
+
+	// Fleet mode.
+	storeDir          string
+	storePoll         time.Duration
+	replica           string
+	admissionBudget   time.Duration
+	admissionMaxQueue int
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	name := flag.String("name", "default", "name the model is served under")
-	park := flag.String("park", "MFNP", "park preset: MFNP, QENP or SWS")
-	scaleStr := flag.String("scale", "small", "park scale: full or small")
-	seed := flag.Int64("seed", 7, "root random seed")
-	kindStr := flag.String("kind", "GPB-iW", "model kind: SVB, DTB, GPB, SVB-iW, DTB-iW or GPB-iW")
-	modelPath := flag.String("model", "", "persisted model file to serve; with -train, where to save a freshly trained one")
-	train := flag.Bool("train", false, "train a model if -model is missing or unset")
-	trainYears := flag.Int("train-years", 3, "training window in years (training holds out the final simulated year)")
-	cvFolds := flag.Int("cv", 0, "iWare-E weight-optimization folds (0 = uniform weights)")
-	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
-	cacheSize := flag.Int("cache", 64, "risk-map LRU cache entries (negative disables)")
-	jobWorkers := flag.Int("job-workers", 4, "concurrently running async jobs (negative = one per CPU)")
-	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished job results are retained")
-	jobRetain := flag.Int("job-retain", 64, "max finished jobs retained (oldest evicted first)")
-	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.name, "name", "default", "name the model is served under")
+	flag.StringVar(&o.park, "park", "MFNP", "park preset: MFNP, QENP or SWS")
+	flag.StringVar(&o.scaleStr, "scale", "small", "park scale: full or small")
+	flag.Int64Var(&o.seed, "seed", 7, "root random seed")
+	flag.StringVar(&o.kindStr, "kind", "GPB-iW", "model kind: SVB, DTB, GPB, SVB-iW, DTB-iW or GPB-iW")
+	flag.StringVar(&o.modelPath, "model", "", "persisted model file to serve; with -train, where to save a freshly trained one")
+	flag.BoolVar(&o.train, "train", false, "train a model if -model is missing or unset")
+	flag.IntVar(&o.trainYears, "train-years", 3, "training window in years (training holds out the final simulated year)")
+	flag.IntVar(&o.cvFolds, "cv", 0, "iWare-E weight-optimization folds (0 = uniform weights)")
+	flag.IntVar(&o.workers, "workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline (0 = none)")
+	flag.IntVar(&o.cacheSize, "cache", 64, "risk-map LRU cache entries (negative disables)")
+	flag.IntVar(&o.jobWorkers, "job-workers", 4, "concurrently running async jobs (negative = one per CPU)")
+	flag.DurationVar(&o.jobTTL, "job-ttl", 15*time.Minute, "how long finished job results are retained")
+	flag.IntVar(&o.jobRetain, "job-retain", 64, "max finished jobs retained (oldest evicted first)")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /statusz on this address (e.g. localhost:6060); empty disables")
+	flag.StringVar(&o.storeDir, "store", "", "shared fleet model store directory; with neither -model nor -train, serve purely from the store")
+	flag.DurationVar(&o.storePoll, "store-poll", time.Second, "how often to poll the store index for new publications")
+	flag.StringVar(&o.replica, "replica", "", "replica ID in a fleet (namespaces job IDs, reported by /statusz)")
+	flag.DurationVar(&o.admissionBudget, "admission-budget", 0, "job-backlog budget: estimated backlog beyond this rejects submissions with 429 (0 disables)")
+	flag.IntVar(&o.admissionMaxQueue, "admission-max-queue", 0, "queue-depth bound: this many queued jobs rejects submissions with 429 (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		// The profiling handlers live on http.DefaultServeMux, which the API
-		// server never touches, so they are reachable only via this listener.
+		// The profiling handlers (and /statusz, registered by run) live on
+		// http.DefaultServeMux, which the API server never touches, so they
+		// are reachable only via this listener.
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -82,97 +132,85 @@ func main() {
 		}()
 	}
 
-	if err := run(*addr, *name, *park, *scaleStr, *kindStr, *modelPath,
-		*seed, *train, *trainYears, *cvFolds, *workers, *timeout, *cacheSize,
-		*jobWorkers, *jobTTL, *jobRetain, *drain); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pawsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name, park, scaleStr, kindStr, modelPath string,
-	seed int64, train bool, trainYears, cvFolds, workers int,
-	timeout time.Duration, cacheSize int,
-	jobWorkers int, jobTTL time.Duration, jobRetain int, drain time.Duration) error {
+func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	scale, err := paws.ParseScale(scaleStr)
+	scale, err := paws.ParseScale(o.scaleStr)
 	if err != nil {
 		return err
 	}
-	kind, err := paws.ParseModelKind(kindStr)
+	kind, err := paws.ParseModelKind(o.kindStr)
 	if err != nil {
 		return err
 	}
 	svc := paws.NewService(
-		paws.WithWorkers(workers),
-		paws.WithSeed(seed),
+		paws.WithWorkers(o.workers),
+		paws.WithSeed(o.seed),
 		paws.WithKind(kind),
-		paws.WithPreset(park, scale),
-		paws.WithCVFolds(cvFolds),
-		paws.WithTrainYears(trainYears),
+		paws.WithPreset(o.park, scale),
+		paws.WithCVFolds(o.cvFolds),
+		paws.WithTrainYears(o.trainYears),
 	)
 
-	log.Printf("generating %s scenario (scale=%s seed=%d)", park, scaleStr, seed)
-	sc, err := svc.Scenario(ctx, park)
-	if err != nil {
-		return err
-	}
-	testYear := sc.Data.Steps[len(sc.Data.Steps)-1].Year
-
-	var model *paws.Model
-	switch {
-	case modelPath != "":
-		if _, statErr := os.Stat(modelPath); statErr == nil {
-			log.Printf("loading persisted model from %s", modelPath)
-			model, err = paws.LoadModelFile(modelPath)
-			if err != nil {
-				return err
-			}
-		} else if !train {
-			return fmt.Errorf("model file %s does not exist (pass -train to train and save one)", modelPath)
-		}
-	case !train:
-		return errors.New("nothing to serve: pass -model with a persisted model, or -train")
-	}
-	if model == nil {
-		split, err := sc.Data.SplitByTestYear(testYear, trainYears)
+	storeOnly := o.storeDir != "" && o.modelPath == "" && !o.train
+	if o.storeDir != "" {
+		st, err := store.Open(o.storeDir)
 		if err != nil {
 			return err
 		}
-		log.Printf("training %v on %d points (%d-year window before %d)", kind, len(split.Train), trainYears, testYear)
-		start := time.Now()
-		model, err = svc.Train(ctx, split.Train)
+		svc.AttachStore(st)
+		log.Printf("fleet store attached at %s", o.storeDir)
+	}
+	if o.storeDir == "" && o.modelPath == "" && !o.train {
+		return errors.New("nothing to serve: pass -model with a persisted model, -train, or -store with a fleet store")
+	}
+
+	if !storeOnly {
+		if err := registerStartupModel(ctx, svc, o, kind); err != nil {
+			return err
+		}
+	}
+
+	// With a store attached, every replica — including the one that just
+	// trained — syncs: models published by peers become servable here
+	// within one poll interval.
+	if o.storeDir != "" {
+		syncer, err := paws.NewStoreSyncer(svc)
 		if err != nil {
 			return err
 		}
-		log.Printf("trained in %s", time.Since(start).Round(time.Millisecond))
-		if modelPath != "" {
-			if err := model.SaveFile(modelPath); err != nil {
-				return err
-			}
-			log.Printf("persisted model to %s", modelPath)
+		n, err := syncer.SyncOnce(ctx)
+		if err != nil {
+			log.Printf("initial store sync: %v", err)
 		}
+		log.Printf("store sync registered %d models (%d served total)", n, len(svc.ModelNames()))
+		go syncer.Run(ctx, o.storePoll, func(err error) { log.Printf("store sync: %v", err) })
 	}
 
-	// Freeze the serving context at the last pre-test step, mirroring how
-	// the experiments build their planner models.
-	testFrom, _ := sc.Data.StepsForYear(testYear)
-	if _, err := svc.AddModel(ctx, name, model, sc.Data, testFrom-1); err != nil {
-		return err
-	}
-	log.Printf("serving model %q (%v, %d park cells) on %s", name, model.Kind, sc.Park.Grid.NumCells(), addr)
-
+	log.Printf("serving %d models on %s (replica %q)", len(svc.ModelNames()), o.addr, o.replica)
 	handler := serve.New(svc, serve.Config{
-		RequestTimeout:   timeout,
-		RiskMapCacheSize: cacheSize,
-		JobWorkers:       jobWorkers,
-		JobResultTTL:     jobTTL,
-		JobMaxRetained:   jobRetain,
+		RequestTimeout:    o.timeout,
+		RiskMapCacheSize:  o.cacheSize,
+		JobWorkers:        o.jobWorkers,
+		JobResultTTL:      o.jobTTL,
+		JobMaxRetained:    o.jobRetain,
+		ReplicaID:         o.replica,
+		AdmissionBudget:   o.admissionBudget,
+		AdmissionMaxQueue: o.admissionMaxQueue,
 	})
+	// /statusz rides the -pprof debug listener too, so operators can check
+	// a replica's load without going through the serving port (or the gate).
+	http.DefaultServeMux.Handle("GET /statusz", handler.StatuszHandler())
+
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -194,12 +232,84 @@ func run(addr, name, park, scaleStr, kindStr, modelPath string,
 		}
 		// Drain the job layer after the listener stops: running and queued
 		// jobs finish; past the drain budget they are canceled and awaited.
-		log.Printf("draining jobs (budget %s)", drain)
-		drainCtx, cancelDrain := context.WithTimeout(context.Background(), drain)
+		log.Printf("draining jobs (budget %s)", o.drain)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), o.drain)
 		defer cancelDrain()
 		if err := handler.Close(drainCtx); err != nil {
 			log.Printf("job drain expired: remaining jobs canceled (%v)", err)
 		}
 		return nil
 	}
+}
+
+// registerStartupModel builds the startup serving context (scenario →
+// train or load → register) and, with a store attached, publishes the
+// model to the fleet.
+func registerStartupModel(ctx context.Context, svc *paws.Service, o options, kind paws.ModelKind) error {
+	log.Printf("generating %s scenario (scale=%s seed=%d)", o.park, o.scaleStr, o.seed)
+	sc, err := svc.Scenario(ctx, o.park)
+	if err != nil {
+		return err
+	}
+	testYear := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+
+	var model *paws.Model
+	if o.modelPath != "" {
+		if _, statErr := os.Stat(o.modelPath); statErr == nil {
+			log.Printf("loading persisted model from %s", o.modelPath)
+			model, err = paws.LoadModelFile(o.modelPath)
+			if err != nil {
+				return err
+			}
+		} else if !o.train {
+			return fmt.Errorf("model file %s does not exist (pass -train to train and save one)", o.modelPath)
+		}
+	}
+	if model == nil {
+		split, err := sc.Data.SplitByTestYear(testYear, o.trainYears)
+		if err != nil {
+			return err
+		}
+		log.Printf("training %v on %d points (%d-year window before %d)", kind, len(split.Train), o.trainYears, testYear)
+		start := time.Now()
+		model, err = svc.Train(ctx, split.Train)
+		if err != nil {
+			return err
+		}
+		log.Printf("trained in %s", time.Since(start).Round(time.Millisecond))
+		if o.modelPath != "" {
+			if err := model.SaveFile(o.modelPath); err != nil {
+				return err
+			}
+			log.Printf("persisted model to %s", o.modelPath)
+		}
+	}
+
+	// Freeze the serving context at the last pre-test step, mirroring how
+	// the experiments build their planner models.
+	testFrom, _ := sc.Data.StepsForYear(testYear)
+	if _, err := svc.AddModel(ctx, o.name, model, sc.Data, testFrom-1); err != nil {
+		return err
+	}
+	log.Printf("serving model %q (%v, %d park cells)", o.name, model.Kind, sc.Park.Grid.NumCells())
+
+	if st := svc.ModelStore(); st != nil {
+		// Skip the publish when the store already holds these exact bytes
+		// under this name — a replica restart must not bump the generation
+		// and make every peer re-register an unchanged model.
+		blob, err := model.SaveBytes()
+		if err != nil {
+			return err
+		}
+		if cur, err := st.Lookup(o.name); err == nil && cur.Hash == store.HashBytes(blob) {
+			log.Printf("model %q already published (hash %.12s, generation %d)", o.name, cur.Hash, cur.Generation)
+			return nil
+		}
+		entry, err := svc.PublishModel(o.name, paws.StoreMeta{Park: o.park, Scale: o.scaleStr, Seed: o.seed})
+		if err != nil {
+			return err
+		}
+		log.Printf("published model %q to the fleet store (hash %.12s, generation %d)", o.name, entry.Hash, entry.Generation)
+	}
+	return nil
 }

@@ -1,0 +1,143 @@
+// Command pawsload drives a deterministic mixed workload (predict /
+// riskmap / plan / async jobs) against a pawsd replica or a pawsgate
+// front-end and records per-endpoint latency percentiles plus the
+// riskmap cache hit rate into a labeled BENCH_load.json:
+//
+//	pawsload -target http://127.0.0.1:8081 -label 1-replica \
+//	  -rate 40 -duration 15s -out BENCH_load.json
+//	pawsload -target http://127.0.0.1:8080 -label 3-replica \
+//	  -rate 40 -duration 15s -out BENCH_load.json
+//
+// The same -seed produces the same op sequence, so two labels differ
+// only in the deployment they hit — that is the whole point: compare
+// one replica vs three behind pawsgate, or the gate with -affinity on
+// vs off, on identical work.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"paws/internal/load"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the pawsd replica or pawsgate to drive")
+	label := flag.String("label", "", "run label in the bench file (default: target URL)")
+	rate := flag.Float64("rate", 20, "target request rate per second")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	concurrency := flag.Int("concurrency", 8, "max in-flight requests")
+	seed := flag.Int64("seed", 1, "op-sequence seed (same seed = same workload)")
+	model := flag.String("model", "", "model to drive (default: first from /v1/models)")
+	mix := flag.String("mix", "predict=5,riskmap=5,plan=1,job=1", "op mix as endpoint=weight pairs")
+	efforts := flag.String("efforts", "1,1.5,2,2.5", "discrete effort set for riskmap/predict draws")
+	out := flag.String("out", "BENCH_load.json", "bench file to merge this run into (\"-\" = stdout only)")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fail(err)
+	}
+	effortSet, err := parseEfforts(*efforts)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := load.Run(ctx, load.Config{
+		BaseURL:     strings.TrimRight(*target, "/"),
+		Label:       *label,
+		Rate:        *rate,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Model:       *model,
+		Efforts:     effortSet,
+		Weights:     weights,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	report(res)
+	if *out != "-" {
+		if err := load.MergeInto(*out, res); err != nil {
+			fail(err)
+		}
+		fmt.Printf("merged run %q into %s\n", res.Label, *out)
+	}
+}
+
+func report(res load.Result) {
+	fmt.Printf("pawsload %s: %.1fs, %.1f req/s achieved (target %.1f), model %s\n",
+		res.Label, res.DurationSeconds, res.AchievedRPS, res.TargetRate, res.Model)
+	kinds := make([]string, 0, len(res.Endpoints))
+	for k := range res.Endpoints {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		st := res.Endpoints[k]
+		fmt.Printf("  %-8s n=%-5d err=%-3d shed=%-3d p50=%8.1fms p95=%8.1fms p99=%8.1fms\n",
+			k, st.Requests, st.Errors, st.Shed, st.P50MS, st.P95MS, st.P99MS)
+	}
+	fmt.Printf("  riskmap cache hit rate: %.1f%%\n", res.RiskMapCacheHitRate*100)
+}
+
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{"predict": true, "riskmap": true, "plan": true, "job": true}
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad -mix entry %q (want predict/riskmap/plan/job=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", pair)
+		}
+		weights[name] = w
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("empty -mix")
+	}
+	return weights, nil
+}
+
+func parseEfforts(s string) ([]float64, error) {
+	var out []float64
+	for _, v := range strings.Split(s, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		e, err := strconv.ParseFloat(v, 64)
+		if err != nil || e <= 0 {
+			return nil, fmt.Errorf("bad -efforts value %q", v)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -efforts")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pawsload:", err)
+	os.Exit(1)
+}

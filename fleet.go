@@ -1,0 +1,238 @@
+package paws
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"paws/internal/store"
+)
+
+// Fleet serving: a Service can attach a shared on-disk model store
+// (internal/store) so N pawsd replicas behave as one deployment. A replica
+// that trains a model publishes its PAWSMODL encoding to the store; every
+// other replica's StoreSyncer notices the index change on its next poll,
+// pulls the artifact, regenerates the serving context deterministically
+// from the entry's park/scale/seed, and registers the model locally — so
+// any replica can serve any model without the processes ever talking to
+// each other.
+
+// AttachStore connects the service to a shared fleet store. Publishing and
+// syncing are explicit (PublishModel, StoreSyncer); attaching alone changes
+// no behavior.
+func (s *Service) AttachStore(st *store.Store) {
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+}
+
+// ModelStore returns the attached fleet store (nil when detached).
+func (s *Service) ModelStore() *store.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
+// DefaultSeed returns the service-wide root seed (WithSeed at
+// construction) — the value a publish must record so peers regenerate the
+// same serving context.
+func (s *Service) DefaultSeed() int64 { return s.defaults.seed }
+
+// StoreMeta identifies the serving context of a model being published: the
+// park spec, scale string ("small"/"full") and root seed that regenerate
+// its feature rasters deterministically on any replica.
+type StoreMeta struct {
+	Park  string
+	Scale string
+	Seed  int64
+}
+
+// PublishModel writes a registered model's artifact into the attached
+// fleet store and stamps the served entry with the assigned content hash
+// and store generation. The serving entry itself is untouched (same
+// instance, same registration generation — caches stay valid).
+func (s *Service) PublishModel(name string, meta StoreMeta) (store.Entry, error) {
+	st := s.ModelStore()
+	if st == nil {
+		return store.Entry{}, fmt.Errorf("paws: publish %q: no fleet store attached", name)
+	}
+	sm, err := s.served(name)
+	if err != nil {
+		return store.Entry{}, err
+	}
+	blob, err := sm.Model.SaveBytes()
+	if err != nil {
+		return store.Entry{}, err
+	}
+	e, err := st.Publish(store.Entry{
+		Name:  name,
+		Kind:  sm.Model.Kind.String(),
+		Park:  meta.Park,
+		Scale: meta.Scale,
+		Seed:  meta.Seed,
+	}, blob)
+	if err != nil {
+		return store.Entry{}, err
+	}
+	// The local entry already serves these exact bytes; only its fleet
+	// provenance changes. Source stays "memory" — this replica trained it.
+	source, _, _ := sm.Provenance()
+	sm.setProvenance(source, e.Hash, e.Generation)
+	return e, nil
+}
+
+// StoreSyncer keeps one Service's registry caught up with the shared fleet
+// store: SyncOnce compares the index against what is registered and pulls
+// every entry whose store generation moved ahead, rebuilding the serving
+// context (park scenario → dataset → planner model) deterministically from
+// the entry's park/scale/seed. Scenario generation is the expensive step,
+// so scenarios are cached per (park, scale, seed) across syncs.
+//
+// A syncer belongs to one replica; methods are safe for concurrent use.
+type StoreSyncer struct {
+	svc *Service
+	st  *store.Store
+
+	mu        sync.Mutex
+	lastMtime time.Time
+	lastSize  int64
+	synced    bool
+	scenarios map[string]*Scenario
+}
+
+// NewStoreSyncer builds a syncer over the service's attached store.
+func NewStoreSyncer(svc *Service) (*StoreSyncer, error) {
+	st := svc.ModelStore()
+	if st == nil {
+		return nil, fmt.Errorf("paws: store syncer: no fleet store attached")
+	}
+	return &StoreSyncer{svc: svc, st: st, scenarios: map[string]*Scenario{}}, nil
+}
+
+// SyncOnce reconciles the registry with the store index once and returns
+// how many models were (re-)registered. An unchanged index (same mtime and
+// size as the last fully successful sync) is a cheap no-op. Entries that
+// fail to load leave the rest of the sync intact; their errors are joined
+// and the index is re-examined on the next poll.
+func (y *StoreSyncer) SyncOnce(ctx context.Context) (int, error) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	mtime, size, err := y.st.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if y.synced && mtime.Equal(y.lastMtime) && size == y.lastSize {
+		return 0, nil
+	}
+	idx, mtime, err := y.st.Load()
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(idx.Models))
+	for n := range idx.Models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	registered := 0
+	var errs []error
+	for _, n := range names {
+		e := idx.Models[n]
+		if sm, ok := y.svc.Served(n); ok {
+			if _, _, gen := sm.Provenance(); gen >= e.Generation {
+				continue // already serving this generation (or published it)
+			}
+		}
+		if err := y.registerLocked(ctx, e); err != nil {
+			errs = append(errs, fmt.Errorf("sync %q: %w", n, err))
+			continue
+		}
+		registered++
+	}
+	if len(errs) > 0 {
+		// Leave the stat checkpoint behind so the next poll retries the
+		// failed entries even if the index does not change again.
+		return registered, joinErrors(errs)
+	}
+	y.lastMtime, y.lastSize, y.synced = mtime, size, true
+	return registered, nil
+}
+
+// registerLocked pulls one entry's artifact and registers it; callers hold
+// the syncer lock.
+func (y *StoreSyncer) registerLocked(ctx context.Context, e store.Entry) error {
+	blob, err := y.st.Get(e.Hash)
+	if err != nil {
+		return err
+	}
+	m, err := LoadModelBytes(blob)
+	if err != nil {
+		return err
+	}
+	sc, err := y.scenarioLocked(ctx, e)
+	if err != nil {
+		return err
+	}
+	// Freeze the serving context at the last pre-test step — the same
+	// convention the trainer used, so both replicas answer identically.
+	testYear := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	testFrom, _ := sc.Data.StepsForYear(testYear)
+	sm, err := y.svc.AddModel(ctx, e.Name, m, sc.Data, testFrom-1)
+	if err != nil {
+		return err
+	}
+	sm.setProvenance(SourceStore, e.Hash, e.Generation)
+	return nil
+}
+
+// scenarioLocked regenerates (or reuses) the scenario behind an entry's
+// serving context.
+func (y *StoreSyncer) scenarioLocked(ctx context.Context, e store.Entry) (*Scenario, error) {
+	scaleStr := e.Scale
+	if scaleStr == "" {
+		scaleStr = "small"
+	}
+	scale, err := ParseScale(scaleStr)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%s|%d", e.Park, scaleStr, e.Seed)
+	if sc, ok := y.scenarios[key]; ok {
+		return sc, nil
+	}
+	sc, err := y.svc.Scenario(ctx, e.Park, WithScale(scale), WithSeed(e.Seed))
+	if err != nil {
+		return nil, err
+	}
+	y.scenarios[key] = sc
+	return sc, nil
+}
+
+// Run polls SyncOnce at the given interval until ctx is done. onError (nil
+// allowed) observes sync failures; the loop keeps polling through them.
+func (y *StoreSyncer) Run(ctx context.Context, interval time.Duration, onError func(error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := y.SyncOnce(ctx); err != nil && onError != nil {
+				onError(err)
+			}
+		}
+	}
+}
+
+// joinErrors flattens accumulated sync errors into one.
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	return fmt.Errorf("%d models failed to sync (first: %w)", len(errs), errs[0])
+}

@@ -1,0 +1,188 @@
+package paws
+
+import (
+	"context"
+	"testing"
+
+	"paws/internal/store"
+)
+
+// fleetTrainOpts are quick training knobs for the fleet tests.
+func fleetTrainOpts() []Option {
+	return []Option{
+		WithKind(DTBiW),
+		WithThresholds(4),
+		WithEnsembleSize(4),
+		WithTreeDepth(6),
+	}
+}
+
+// trainInto trains a quick model on a procedural park and registers it.
+func trainInto(t *testing.T, svc *Service, name string, trainSeed int64) *ServedModel {
+	t.Helper()
+	ctx := context.Background()
+	sc, err := svc.Scenario(ctx, "rand:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append(fleetTrainOpts(), WithSeed(trainSeed))
+	m, err := svc.Train(ctx, split.Train, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(year)
+	sm, err := svc.AddModel(ctx, name, m, sc.Data, testFrom-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// TestFleetPublishSyncServeIdentical is the shared-store contract: replica
+// A trains and publishes, replica B syncs from the store alone, and both
+// replicas answer the same riskmap query with byte-identical floats.
+func TestFleetPublishSyncServeIdentical(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	svcA := NewService(WithWorkers(2), WithSeed(7))
+	svcA.AttachStore(st)
+	smA := trainInto(t, svcA, "shared", 7)
+	if src, hash, gen := smA.Provenance(); src != SourceMemory || hash != "" || gen != 0 {
+		t.Fatalf("pre-publish provenance = (%q, %q, %d), want (memory, \"\", 0)", src, hash, gen)
+	}
+	entry, err := svcA.PublishModel("shared", StoreMeta{Park: "rand:16", Scale: "small", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, hash, gen := smA.Provenance(); src != SourceMemory || hash != entry.Hash || gen != entry.Generation {
+		t.Fatalf("post-publish provenance = (%q, %q, %d), want (memory, %q, %d)", src, hash, gen, entry.Hash, entry.Generation)
+	}
+
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB := NewService(WithWorkers(2), WithSeed(7))
+	svcB.AttachStore(stB)
+	syncer, err := NewStoreSyncer(svcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := syncer.SyncOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("first sync registered %d models, want 1", n)
+	}
+	smB, ok := svcB.Served("shared")
+	if !ok {
+		t.Fatal("synced model not registered")
+	}
+	if src, hash, gen := smB.Provenance(); src != SourceStore || hash != entry.Hash || gen != entry.Generation {
+		t.Fatalf("synced provenance = (%q, %q, %d), want (store, %q, %d)", src, hash, gen, entry.Hash, entry.Generation)
+	}
+
+	// Any replica serves any model: identical queries, identical floats.
+	riskA, uncA, err := svcA.RiskMaps(ctx, "shared", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riskB, uncB, err := svcB.RiskMaps(ctx, "shared", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFloats(t, "risk A vs B", riskA, riskB)
+	assertSameFloats(t, "uncertainty A vs B", uncA, uncB)
+
+	// An unchanged index is a no-op poll.
+	if n, err := syncer.SyncOnce(ctx); err != nil || n != 0 {
+		t.Fatalf("idle sync = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// A re-publish (new training seed → new artifact) bumps the generation
+	// and the next poll picks it up; the publisher itself does not
+	// re-register its own write.
+	trainInto(t, svcA, "shared", 99)
+	entry2, err := svcA.PublishModel("shared", StoreMeta{Park: "rand:16", Scale: "small", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry2.Generation != entry.Generation+1 {
+		t.Fatalf("republish generation %d, want %d", entry2.Generation, entry.Generation+1)
+	}
+	if entry2.Hash == entry.Hash {
+		t.Fatal("retrained model hashed identically to the original")
+	}
+	if n, err := syncer.SyncOnce(ctx); err != nil || n != 1 {
+		t.Fatalf("post-republish sync = (%d, %v), want (1, nil)", n, err)
+	}
+	smB2, _ := svcB.Served("shared")
+	if smB2.Generation() == smB.Generation() {
+		t.Fatal("re-registration did not bump the service generation")
+	}
+	if _, hash, gen := smB2.Provenance(); hash != entry2.Hash || gen != entry2.Generation {
+		t.Fatalf("resynced provenance (%q, %d), want (%q, %d)", hash, gen, entry2.Hash, entry2.Generation)
+	}
+	riskA2, _, err := svcA.RiskMaps(ctx, "shared", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riskB2, _, err := svcB.RiskMaps(ctx, "shared", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFloats(t, "risk A vs B after republish", riskA2, riskB2)
+
+	// Syncing a service that itself published sees nothing to do.
+	syncerA, err := NewStoreSyncer(svcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := syncerA.SyncOnce(ctx); err != nil || n != 0 {
+		t.Fatalf("publisher self-sync = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPublishWithoutStoreFails(t *testing.T) {
+	svc := NewService(WithSeed(7))
+	if _, err := svc.PublishModel("anything", StoreMeta{}); err == nil {
+		t.Fatal("publish without an attached store succeeded")
+	}
+	if _, err := NewStoreSyncer(svc); err == nil {
+		t.Fatal("syncer without an attached store succeeded")
+	}
+}
+
+func TestSaveBytesMatchesSaveAndHashes(t *testing.T) {
+	svc := NewService(WithWorkers(2), WithSeed(7))
+	sm := trainInto(t, svc, "m", 7)
+	b1, err := sm.Model.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sm.Model.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.HashBytes(b1) != store.HashBytes(b2) {
+		t.Fatal("two encodings of one model hash differently")
+	}
+	loaded, err := LoadModelBytes(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != sm.Model.Kind {
+		t.Fatalf("loaded kind %v, want %v", loaded.Kind, sm.Model.Kind)
+	}
+}

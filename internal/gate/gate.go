@@ -1,0 +1,698 @@
+// Package gate is the fleet routing proxy in front of N pawsd replicas
+// (the pawsgate binary). The replicas share one model store (internal/
+// store), so any replica can answer any request — the gate's job is to
+// pick the replica that answers it best:
+//
+//   - Cacheable map/plan work (/v1/riskmap, /v1/plan) routes by rendezvous
+//     hashing of the response cache key (model + the query's exact effort
+//     bits), so repeat queries for the same key land on the same replica
+//     and its riskmap LRU actually accumulates hits. With affinity off the
+//     gate falls back to round-robin — the switch pawsload uses to measure
+//     how much affinity is worth.
+//   - Stateless scoring (/v1/predict) and discovery (/v1/models, /healthz)
+//     round-robin across healthy replicas.
+//   - Job submission (POST /v1/jobs, and the synchronous /v1/simulate,
+//     which runs a one-shot job server-side) routes to the least-loaded
+//     replica: queue depth and mean job cost from each replica's /statusz
+//     poll, plus the submissions the gate itself routed there since the
+//     last poll, so a burst between polls does not dogpile one replica.
+//   - Job observation (GET /v1/jobs/{id}…, DELETE) is owner-sticky: job
+//     state lives only on the replica that runs the job, so the gate
+//     parses the replica ID out of the job ID ("j-<replica>-000042"),
+//     falling back to the owner it recorded at submit time.
+//
+// Replicas are health-checked (GET /statusz) on a fixed interval; a
+// failed poll or a failed proxied request takes a replica out of rotation
+// until a poll succeeds again. Idempotent GETs that die on a transport
+// error are retried once on a different healthy replica, so a replica
+// crash mid-request costs clients one error at most. GET /v1/jobs fans
+// out to every healthy replica and merges the lists, so operators see the
+// whole fleet's jobs in one place. The gate reports itself under GET
+// /gatez.
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Gate.
+type Config struct {
+	// Backends are the pawsd replica base URLs (e.g. http://127.0.0.1:8080).
+	// At least one is required.
+	Backends []string
+	// HealthInterval is the /statusz poll cadence (default 250ms).
+	HealthInterval time.Duration
+	// Affinity enables cache-key routing for /v1/riskmap and /v1/plan;
+	// disabled they round-robin like stateless traffic.
+	Affinity bool
+	// Client overrides the outbound HTTP client (nil uses a default with
+	// no overall timeout — event streams are long-lived; per-request
+	// contexts bound everything else).
+	Client *http.Client
+}
+
+// backend is one replica behind the gate.
+type backend struct {
+	url string
+
+	mu sync.Mutex
+	// name is the replica ID from /statusz ("" until the first successful
+	// poll of a replica that has one).
+	name    string
+	healthy bool
+	// queued/running/meanJob mirror the last /statusz poll.
+	queued, running int
+	meanJob         float64
+
+	// submits counts job submissions routed here since the last poll —
+	// the between-polls correction for least-loaded routing.
+	submits atomic.Int64
+	// proxied counts requests proxied here over the gate's lifetime.
+	proxied atomic.Int64
+}
+
+// load is the backend's current least-loaded score.
+func (b *backend) load() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(b.queued+b.running) + b.submits.Load()
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+func (b *backend) setHealthy(ok bool) {
+	b.mu.Lock()
+	b.healthy = ok
+	b.mu.Unlock()
+}
+
+// Gate is the routing proxy. It is an http.Handler.
+type Gate struct {
+	cfg      Config
+	client   *http.Client
+	backends []*backend
+
+	rr atomic.Int64 // round-robin cursor
+
+	ownerMu sync.Mutex
+	// owners maps un-prefixed job IDs to the backend they were submitted
+	// to — the fallback when the ID itself does not name its replica.
+	owners map[string]*backend
+
+	// routing counters, reported by /gatez.
+	affinityRouted, rrRouted, leastLoadedRouted, retries atomic.Int64
+}
+
+// maxBodyBytes bounds a buffered request body; the largest legitimate
+// bodies (predict batches) stay well under it.
+const maxBodyBytes = 16 << 20
+
+// New builds a Gate and synchronously polls every backend once, so a
+// freshly started gate routes correctly from its first request.
+func New(cfg Config) (*Gate, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gate: at least one backend is required")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	g := &Gate{cfg: cfg, client: client, owners: map[string]*backend{}}
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("gate: invalid backend URL %q", raw)
+		}
+		g.backends = append(g.backends, &backend{url: strings.TrimRight(raw, "/")})
+	}
+	g.PollOnce()
+	return g, nil
+}
+
+// PollOnce health-checks every backend synchronously.
+func (g *Gate) PollOnce() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.pollBackend(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Run polls backend health until ctx is done.
+func (g *Gate) Run(ctx interface{ Done() <-chan struct{} }) {
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.PollOnce()
+		}
+	}
+}
+
+// statuszProbe is the slice of a replica's /statusz the gate consumes.
+type statuszProbe struct {
+	Replica string `json:"replica"`
+	Jobs    struct {
+		Queued         int     `json:"queued"`
+		Running        int     `json:"running"`
+		MeanJobSeconds float64 `json:"mean_job_seconds"`
+	} `json:"jobs"`
+}
+
+// pollBackend refreshes one backend's health and load.
+func (g *Gate) pollBackend(b *backend) {
+	req, err := http.NewRequest(http.MethodGet, b.url+"/statusz", nil)
+	if err != nil {
+		b.setHealthy(false)
+		return
+	}
+	client := *g.client
+	client.Timeout = 2 * time.Second
+	resp, err := client.Do(req)
+	if err != nil {
+		b.setHealthy(false)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.setHealthy(false)
+		return
+	}
+	var probe statuszProbe
+	if err := json.Unmarshal(body, &probe); err != nil {
+		b.setHealthy(false)
+		return
+	}
+	b.mu.Lock()
+	b.healthy = true
+	if probe.Replica != "" {
+		b.name = probe.Replica
+	}
+	b.queued = probe.Jobs.Queued
+	b.running = probe.Jobs.Running
+	b.meanJob = probe.Jobs.MeanJobSeconds
+	b.mu.Unlock()
+	// The poll re-based queued+running, so the between-polls correction
+	// restarts from zero.
+	b.submits.Store(0)
+}
+
+// healthy returns the healthy backends, in configuration order.
+func (g *Gate) healthy() []*backend {
+	out := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.isHealthy() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pickRoundRobin cycles through the healthy backends.
+func (g *Gate) pickRoundRobin(healthy []*backend) *backend {
+	n := g.rr.Add(1)
+	return healthy[int((n-1)%int64(len(healthy)))]
+}
+
+// pickAffinity rendezvous-hashes the cache key over the healthy backends:
+// each (key, backend) pair gets a deterministic weight and the maximum
+// wins, so a key keeps its replica while that replica is alive, and only
+// 1/n of keys move when a replica joins or dies.
+func (g *Gate) pickAffinity(healthy []*backend, key string) *backend {
+	var best *backend
+	var bestW uint64
+	for _, b := range healthy {
+		h := fnv.New64a()
+		io.WriteString(h, key)
+		io.WriteString(h, "|")
+		io.WriteString(h, b.url)
+		if w := h.Sum64(); best == nil || w > bestW {
+			best, bestW = b, w
+		}
+	}
+	return best
+}
+
+// pickLeastLoaded takes the backend with the fewest committed jobs
+// (statusz queued+running, plus submissions the gate routed there since
+// the last poll). Ties keep configuration order.
+func (g *Gate) pickLeastLoaded(healthy []*backend) *backend {
+	best := healthy[0]
+	bestLoad := best.load()
+	for _, b := range healthy[1:] {
+		if l := b.load(); l < bestLoad {
+			best, bestLoad = b, l
+		}
+	}
+	return best
+}
+
+// jobIDPattern extracts the replica name a prefixed job ID carries.
+var jobIDPattern = regexp.MustCompile(`^j-(.+)-[0-9]{6}$`)
+
+// ownerOf resolves which backend owns a job ID: the replica named inside
+// the ID if the fleet runs with replica IDs, else the owner recorded at
+// submit time.
+func (g *Gate) ownerOf(id string) *backend {
+	if m := jobIDPattern.FindStringSubmatch(id); m != nil {
+		for _, b := range g.backends {
+			b.mu.Lock()
+			name := b.name
+			b.mu.Unlock()
+			if name == m[1] {
+				return b
+			}
+		}
+	}
+	g.ownerMu.Lock()
+	defer g.ownerMu.Unlock()
+	return g.owners[id]
+}
+
+// recordOwner remembers which backend a submitted job went to (bounded;
+// the ID-prefix path makes this a fallback, not a requirement).
+func (g *Gate) recordOwner(id string, b *backend) {
+	g.ownerMu.Lock()
+	defer g.ownerMu.Unlock()
+	if len(g.owners) >= 4096 {
+		g.owners = map[string]*backend{}
+	}
+	g.owners[id] = b
+}
+
+// errorEnvelope mirrors serve's structured error body.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeGateErr renders a gate-originated error in serve's envelope shape,
+// so clients parse one error format whether it came from a replica or
+// from the gate itself.
+func writeGateErr(w http.ResponseWriter, status int, code, msg string) {
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// ServeHTTP implements http.Handler: classify the route, pick a backend,
+// proxy.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/gatez" {
+		g.handleGatez(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeGateErr(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeGateErr(w, http.StatusRequestEntityTooLarge, "bad_request",
+			fmt.Sprintf("request body exceeds the gate's %d-byte limit", maxBodyBytes))
+		return
+	}
+	healthy := g.healthy()
+	if len(healthy) == 0 {
+		writeGateErr(w, http.StatusServiceUnavailable, "no_backend", "no healthy replica available")
+		return
+	}
+
+	path := r.URL.Path
+	switch {
+	case r.Method == http.MethodGet && path == "/v1/jobs":
+		g.handleJobListFanout(w, r, healthy)
+		return
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		g.routeJobDetail(w, r, body, healthy)
+		return
+	case r.Method == http.MethodPost && (path == "/v1/jobs" || path == "/v1/simulate"):
+		b := g.pickLeastLoaded(healthy)
+		g.leastLoadedRouted.Add(1)
+		b.submits.Add(1)
+		g.proxySubmit(w, r, body, b, path == "/v1/jobs")
+		return
+	case g.cfg.Affinity && path == "/v1/riskmap":
+		if key, ok := riskmapKey(r, body); ok {
+			g.affinityRouted.Add(1)
+			g.proxyWithRetry(w, r, body, g.pickAffinity(healthy, key), healthy)
+			return
+		}
+	case g.cfg.Affinity && r.Method == http.MethodPost && path == "/v1/plan":
+		if key, ok := planKey(body); ok {
+			g.affinityRouted.Add(1)
+			g.proxyWithRetry(w, r, body, g.pickAffinity(healthy, key), healthy)
+			return
+		}
+	}
+	// Everything else — predict, models, healthz, statusz, unparseable
+	// affinity requests — round-robins.
+	g.rrRouted.Add(1)
+	g.proxyWithRetry(w, r, body, g.pickRoundRobin(healthy), healthy)
+}
+
+// riskmapKey derives the riskmap response-cache affinity key (model +
+// exact effort bits — the same identity serve's LRU keys on, minus the
+// per-replica generation, which the shared store keeps aligned anyway).
+func riskmapKey(r *http.Request, body []byte) (string, bool) {
+	model := "default"
+	var effort float64
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		if m := q.Get("model"); m != "" {
+			model = m
+		}
+		e, err := strconv.ParseFloat(q.Get("effort"), 64)
+		if err != nil {
+			return "", false
+		}
+		effort = e
+	} else {
+		var req struct {
+			Model  string  `json:"model"`
+			Effort float64 `json:"effort"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", false
+		}
+		if req.Model != "" {
+			model = req.Model
+		}
+		effort = req.Effort
+	}
+	return fmt.Sprintf("riskmap|%s|%016x", model, math.Float64bits(effort)), true
+}
+
+// planKey derives the plan affinity key (model + post + beta bits).
+func planKey(body []byte) (string, bool) {
+	var req struct {
+		Model string  `json:"model"`
+		Post  int     `json:"post"`
+		Beta  float64 `json:"beta"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", false
+	}
+	model := req.Model
+	if model == "" {
+		model = "default"
+	}
+	return fmt.Sprintf("plan|%s|%d|%016x", model, req.Post, math.Float64bits(req.Beta)), true
+}
+
+// routeJobDetail proxies /v1/jobs/{id}… to the replica that owns the job.
+// When the owner is unknown (un-prefixed ID submitted around the gate),
+// every healthy replica is probed and the first non-404 answer wins.
+func (g *Gate) routeJobDetail(w http.ResponseWriter, r *http.Request, body []byte, healthy []*backend) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id := rest
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		id = rest[:i]
+	}
+	if b := g.ownerOf(id); b != nil {
+		if b.isHealthy() {
+			g.proxy(w, r, body, b)
+			return
+		}
+		// The owner is down: its jobs are gone with its process. A live
+		// replica answers authoritatively (404 unknown_job after a restart,
+		// 503 shutting_down during its drain) — proxy there instead of
+		// failing with a bare 502, so clients keep getting the structured
+		// envelope.
+		g.retries.Add(1)
+		g.proxy(w, r, body, g.pickRoundRobin(healthy))
+		return
+	}
+	// Unknown owner: probe. Buffer each answer; forward the first that is
+	// not unknown_job, else the last 404.
+	for i, b := range healthy {
+		resp, raw, err := g.fetch(r, body, b)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound || i == len(healthy)-1 {
+			copyHeader(w.Header(), resp.Header)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(raw)
+			return
+		}
+	}
+	writeGateErr(w, http.StatusNotFound, "unknown_job", fmt.Sprintf("job %q not found on any replica", id))
+}
+
+// handleJobListFanout merges GET /v1/jobs across the fleet.
+func (g *Gate) handleJobListFanout(w http.ResponseWriter, r *http.Request, healthy []*backend) {
+	type listResp struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	merged := listResp{Jobs: []json.RawMessage{}}
+	type keyed struct {
+		id  string
+		raw json.RawMessage
+	}
+	var all []keyed
+	for _, b := range healthy {
+		resp, raw, err := g.fetch(r, nil, b)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var one listResp
+		if json.Unmarshal(raw, &one) != nil {
+			continue
+		}
+		for _, j := range one.Jobs {
+			var idOnly struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(j, &idOnly)
+			all = append(all, keyed{id: idOnly.ID, raw: j})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	for _, k := range all {
+		merged.Jobs = append(merged.Jobs, k.raw)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(merged)
+}
+
+// proxySubmit proxies a job submission, recording the assigned job ID so
+// later observation requests can find their replica even without ID
+// prefixes.
+func (g *Gate) proxySubmit(w http.ResponseWriter, r *http.Request, body []byte, b *backend, record bool) {
+	resp, raw, err := g.fetch(r, body, b)
+	if err != nil {
+		writeGateErr(w, http.StatusBadGateway, "backend_down", fmt.Sprintf("replica %s: %v", b.url, err))
+		return
+	}
+	if record && resp.StatusCode == http.StatusAccepted {
+		var snap struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(raw, &snap) == nil && snap.ID != "" {
+			g.recordOwner(snap.ID, b)
+		}
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw)
+}
+
+// proxyWithRetry proxies to b; when the transport itself fails (replica
+// died mid-request) and the request is an idempotent GET, it retries once
+// on a different healthy replica.
+func (g *Gate) proxyWithRetry(w http.ResponseWriter, r *http.Request, body []byte, b *backend, healthy []*backend) {
+	err := g.proxy(w, r, body, b)
+	if err == nil || r.Method != http.MethodGet {
+		if err != nil {
+			writeGateErr(w, http.StatusBadGateway, "backend_down", fmt.Sprintf("replica %s: %v", b.url, err))
+		}
+		return
+	}
+	for _, alt := range healthy {
+		if alt == b || !alt.isHealthy() {
+			continue
+		}
+		g.retries.Add(1)
+		if err := g.proxy(w, r, body, alt); err == nil {
+			return
+		}
+		break // one retry
+	}
+	writeGateErr(w, http.StatusBadGateway, "backend_down", fmt.Sprintf("replica %s: %v", b.url, err))
+}
+
+// proxy forwards the request to one backend and streams the response. A
+// transport-level failure marks the backend unhealthy and returns the
+// error with nothing written, so the caller may retry elsewhere; once any
+// response byte arrives the response is committed to this backend.
+func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, body []byte, b *backend) error {
+	resp, err := g.send(r, body, b)
+	if err != nil {
+		b.setHealthy(false)
+		return err
+	}
+	defer resp.Body.Close()
+	b.proxied.Add(1)
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return nil // client gone; the backend is fine
+			}
+			// Flush every chunk: NDJSON event streams must reach the
+			// client as the replica emits them, not when a buffer fills.
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return nil
+		}
+	}
+}
+
+// fetch forwards the request to one backend and buffers the full response
+// — for routes that must inspect the answer (submissions, probes, list
+// fan-out). Transport failures mark the backend unhealthy.
+func (g *Gate) fetch(r *http.Request, body []byte, b *backend) (*http.Response, []byte, error) {
+	resp, err := g.send(r, body, b)
+	if err != nil {
+		b.setHealthy(false)
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		b.setHealthy(false)
+		return nil, nil, err
+	}
+	b.proxied.Add(1)
+	return resp, raw, nil
+}
+
+// send builds and performs the outbound request.
+func (g *Gate) send(r *http.Request, body []byte, b *backend) (*http.Response, error) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(out.Header, r.Header)
+	out.Header.Del("Connection")
+	return g.client.Do(out)
+}
+
+// copyHeader copies headers, skipping hop-by-hop fields.
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		switch http.CanonicalHeaderKey(k) {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade":
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// BackendStatus is one replica's row in the /gatez report.
+type BackendStatus struct {
+	Name    string `json:"name,omitempty"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	// MeanJobSeconds is the replica's reported mean job runtime.
+	MeanJobSeconds float64 `json:"mean_job_seconds"`
+	// Proxied counts requests the gate sent here over its lifetime.
+	Proxied int64 `json:"proxied"`
+	// SubmitsSincePoll counts job submissions routed here since the last
+	// health poll.
+	SubmitsSincePoll int64 `json:"submits_since_poll"`
+}
+
+// GatezResponse is the gate's own status report.
+type GatezResponse struct {
+	Affinity bool            `json:"affinity"`
+	Backends []BackendStatus `json:"backends"`
+	Routing  struct {
+		Affinity    int64 `json:"affinity"`
+		RoundRobin  int64 `json:"round_robin"`
+		LeastLoaded int64 `json:"least_loaded"`
+		Retries     int64 `json:"retries"`
+	} `json:"routing"`
+}
+
+// Status builds the current /gatez report.
+func (g *Gate) Status() GatezResponse {
+	resp := GatezResponse{Affinity: g.cfg.Affinity}
+	for _, b := range g.backends {
+		b.mu.Lock()
+		resp.Backends = append(resp.Backends, BackendStatus{
+			Name:             b.name,
+			URL:              b.url,
+			Healthy:          b.healthy,
+			Queued:           b.queued,
+			Running:          b.running,
+			MeanJobSeconds:   b.meanJob,
+			Proxied:          b.proxied.Load(),
+			SubmitsSincePoll: b.submits.Load(),
+		})
+		b.mu.Unlock()
+	}
+	resp.Routing.Affinity = g.affinityRouted.Load()
+	resp.Routing.RoundRobin = g.rrRouted.Load()
+	resp.Routing.LeastLoaded = g.leastLoadedRouted.Load()
+	resp.Routing.Retries = g.retries.Load()
+	return resp
+}
+
+func (g *Gate) handleGatez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeGateErr(w, http.StatusMethodNotAllowed, "bad_request", "gatez is GET-only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(g.Status())
+}

@@ -100,8 +100,30 @@ type Config struct {
 	// MaxRetained bounds how many terminal jobs are retained; beyond it the
 	// oldest-finished are evicted first. 0 selects the default of 64.
 	MaxRetained int
+	// IDPrefix namespaces job IDs ("j-<prefix>-000001" instead of
+	// "j-000001"). In a fleet every replica sets a distinct prefix so a
+	// routing proxy can tell whose job an ID names; empty keeps the
+	// single-process format.
+	IDPrefix string
 	// now is a test hook for TTL eviction; nil means time.Now.
 	now func() time.Time
+}
+
+// Stats is a point-in-time load summary of a Manager — the signal behind
+// pawsd's /statusz (replica load for pawsgate's least-loaded routing) and
+// the backlog estimate behind admission control.
+type Stats struct {
+	// Queued and Running are the jobs currently waiting and executing.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Completed counts jobs that reached a terminal state over the
+	// Manager's lifetime (evictions included).
+	Completed int64 `json:"completed"`
+	// MeanJobSeconds is an exponentially-weighted moving average of
+	// wall-clock job runtime (α = 0.3; 0 until the first job finishes) —
+	// the per-job cost estimate admission control multiplies queue depth
+	// by.
+	MeanJobSeconds float64 `json:"mean_job_seconds"`
 }
 
 // Snapshot is a point-in-time view of a job, safe to serialize.
@@ -163,6 +185,9 @@ type Manager struct {
 	running int
 	nextID  int
 	closed  bool
+	// completed / meanRunSeconds feed Stats; updated as jobs turn terminal.
+	completed      int64
+	meanRunSeconds float64
 	// change is closed and replaced when the set of active jobs shrinks;
 	// Shutdown blocks on it to detect quiescence. Per-job observers use the
 	// rec's own change channel instead.
@@ -213,8 +238,12 @@ func (m *Manager) submitLocked(kind string, fn Fn, pinned bool) (*rec, error) {
 	}
 	m.evictLocked()
 	m.nextID++
+	id := fmt.Sprintf("j-%06d", m.nextID)
+	if m.cfg.IDPrefix != "" {
+		id = fmt.Sprintf("j-%s-%06d", m.cfg.IDPrefix, m.nextID)
+	}
 	r := &rec{
-		id:      fmt.Sprintf("j-%06d", m.nextID),
+		id:      id,
 		kind:    kind,
 		fn:      fn,
 		state:   StateQueued,
@@ -284,6 +313,7 @@ func (m *Manager) run(r *rec, ctx context.Context) {
 	m.running--
 	r.cancel = nil
 	r.finished = m.cfg.now()
+	m.noteFinishedLocked(r.finished.Sub(r.started).Seconds())
 	switch {
 	case err == nil:
 		// A job that completed despite a racing cancel keeps its result.
@@ -313,6 +343,22 @@ func runSafely(fn Fn, ctx context.Context, publish func(Event)) (result any, err
 	return fn(ctx, publish)
 }
 
+// lookupLocked resolves a job ID; callers hold the lock. A miss while the
+// Manager is draining reports ErrShuttingDown, not ErrUnknownJob: during
+// shutdown, terminal jobs are being evicted while clients (e.g. an NDJSON
+// event stream reconnecting after a disconnect) may still hold valid IDs,
+// and telling such a client its job "never existed" is wrong — the honest
+// answer is that the server is going away.
+func (m *Manager) lookupLocked(id string) (*rec, error) {
+	if r, ok := m.jobs[id]; ok {
+		return r, nil
+	}
+	if m.closed {
+		return nil, fmt.Errorf("%w (job %q unknown or already drained)", ErrShuttingDown, id)
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+}
+
 // snapshotLocked builds a Snapshot; callers hold the lock.
 func (r *rec) snapshotLocked() Snapshot {
 	s := Snapshot{
@@ -335,9 +381,9 @@ func (m *Manager) Get(id string) (Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.evictLocked()
-	r, ok := m.jobs[id]
-	if !ok {
-		return Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	r, err := m.lookupLocked(id)
+	if err != nil {
+		return Snapshot{}, err
 	}
 	return r.snapshotLocked(), nil
 }
@@ -362,9 +408,9 @@ func (m *Manager) List() []Snapshot {
 func (m *Manager) Cancel(id string) (Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.jobs[id]
-	if !ok {
-		return Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	r, err := m.lookupLocked(id)
+	if err != nil {
+		return Snapshot{}, err
 	}
 	switch r.state {
 	case StateQueued:
@@ -377,6 +423,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		r.state = StateCanceled
 		r.finished = m.cfg.now()
 		r.err = ErrCanceled
+		m.noteFinishedLocked(0) // never ran: counts, contributes no runtime
 		m.publishLocked(r, Event{Stage: "state", Item: string(StateCanceled)})
 		m.broadcastLocked() // active count shrank: wake Shutdown
 	case StateRunning:
@@ -393,9 +440,9 @@ func (m *Manager) Result(id string) (any, Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.evictLocked()
-	r, ok := m.jobs[id]
-	if !ok {
-		return nil, Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	r, err := m.lookupLocked(id)
+	if err != nil {
+		return nil, Snapshot{}, err
 	}
 	snap := r.snapshotLocked()
 	switch r.state {
@@ -427,9 +474,9 @@ func (m *Manager) Result(id string) (any, Snapshot, error) {
 func (m *Manager) EventsSince(id string, from int) ([]Event, State, <-chan struct{}, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.jobs[id]
-	if !ok {
-		return nil, "", nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	r, err := m.lookupLocked(id)
+	if err != nil {
+		return nil, "", nil, err
 	}
 	var evs []Event
 	if from < 0 {
@@ -446,16 +493,16 @@ func (m *Manager) EventsSince(id string, from int) ([]Event, State, <-chan struc
 func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
 	for {
 		m.mu.Lock()
-		r, ok := m.jobs[id]
+		r, err := m.lookupLocked(id)
 		var snap Snapshot
 		var ch <-chan struct{}
-		if ok {
+		if err == nil {
 			snap = r.snapshotLocked()
 			ch = r.change
 		}
 		m.mu.Unlock()
-		if !ok {
-			return Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+		if err != nil {
+			return Snapshot{}, err
 		}
 		if snap.State.Terminal() {
 			return snap, nil
@@ -499,9 +546,9 @@ func (m *Manager) Run(ctx context.Context, kind string, fn Fn) (any, error) {
 func (m *Manager) Remove(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.jobs[id]
-	if !ok {
-		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	r, err := m.lookupLocked(id)
+	if err != nil {
+		return err
 	}
 	if !r.state.Terminal() {
 		return fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, r.state)
@@ -511,11 +558,39 @@ func (m *Manager) Remove(id string) error {
 	return nil
 }
 
+// noteFinishedLocked folds one terminal job into the load statistics;
+// callers hold the lock. Only jobs that actually ran contribute a runtime
+// sample (a queued job canceled before starting has no runtime).
+func (m *Manager) noteFinishedLocked(runSeconds float64) {
+	m.completed++
+	if runSeconds <= 0 {
+		return
+	}
+	if m.meanRunSeconds == 0 {
+		m.meanRunSeconds = runSeconds
+		return
+	}
+	const alpha = 0.3
+	m.meanRunSeconds = alpha*runSeconds + (1-alpha)*m.meanRunSeconds
+}
+
 // Active returns how many jobs are queued or running.
 func (m *Manager) Active() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.activeLocked()
+}
+
+// Stats returns the Manager's current load summary.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Queued:         len(m.queue),
+		Running:        m.running,
+		Completed:      m.completed,
+		MeanJobSeconds: m.meanRunSeconds,
+	}
 }
 
 func (m *Manager) activeLocked() int { return m.running + len(m.queue) }

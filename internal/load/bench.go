@@ -1,0 +1,49 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchFile is the BENCH_load.json layout: labeled runs, so "1-replica"
+// and "3-replica" (and affinity on/off) live side by side and a re-run
+// of one label replaces only that label's record.
+type benchFile struct {
+	Runs []Result `json:"runs"`
+}
+
+// MergeInto upserts res into the labeled-run file at path (created if
+// absent), keyed by Label, and writes it back sorted by label.
+func MergeInto(path string, res Result) error {
+	var bf benchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("load: %s exists but is not a bench file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i := range bf.Runs {
+		if bf.Runs[i].Label == res.Label {
+			bf.Runs[i] = res
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bf.Runs = append(bf.Runs, res)
+	}
+	sort.Slice(bf.Runs, func(a, b int) bool { return bf.Runs[a].Label < bf.Runs[b].Label })
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

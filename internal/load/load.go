@@ -1,0 +1,471 @@
+// Package load is the deterministic fleet load harness behind the
+// pawsload binary: it drives a mixed predict/riskmap/plan/job workload
+// against a pawsd replica or a pawsgate front-end at a target request
+// rate and records per-endpoint throughput and latency percentiles.
+//
+// Determinism: the op sequence (which endpoint, which effort, which
+// cells, which post) is generated up front from one seed, so two runs
+// against different deployments (one replica vs three behind a gate,
+// affinity on vs off) answer the exact same questions in the exact same
+// order — the only thing that varies is the serving side. Riskmap ops
+// draw efforts from a small discrete set, so repeat keys exist for the
+// response cache (and the gate's affinity routing) to win on; the
+// response's "cached" field feeds the measured hit rate.
+//
+// The harness is open-loop with a bounded in-flight cap: ops fire on a
+// fixed schedule derived from the target rate, and latency is measured
+// from each op's *scheduled* start, so queueing delay behind a saturated
+// server counts against it (no coordinated omission).
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes a load run.
+type Config struct {
+	// BaseURL is the target: one pawsd replica or a pawsgate.
+	BaseURL string
+	// Label names this run in BENCH_load.json (e.g. "1-replica",
+	// "3-replica-affinity"); defaults to BaseURL.
+	Label string
+	// Rate is the target request rate per second (default 20).
+	Rate float64
+	// Duration bounds the run (default 10s); the op count is
+	// Rate×Duration, generated up front.
+	Duration time.Duration
+	// Concurrency bounds in-flight requests (default 8).
+	Concurrency int
+	// Seed makes the op sequence reproducible (default 1).
+	Seed int64
+	// Model names the served model to drive (default: first model reported
+	// by /v1/models).
+	Model string
+	// Efforts is the discrete riskmap/predict effort set (default
+	// 1, 1.5, 2, 2.5) — small so repeat keys exist for caches to hit.
+	Efforts []float64
+	// Weights sets the op mix per endpoint name (predict, riskmap, plan,
+	// job); default 5/5/1/1. A zero-weight endpoint is skipped.
+	Weights map[string]int
+	// Client overrides the HTTP client (nil = default with 60s timeout).
+	Client *http.Client
+}
+
+// EndpointStats aggregates one endpoint's outcomes.
+type EndpointStats struct {
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Shed counts structured 429 admission rejections (not errors: the
+	// server kept its latency promise by refusing the work).
+	Shed          int     `json:"shed,omitempty"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanMS        float64 `json:"mean_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// Result is one labeled run's record in BENCH_load.json.
+type Result struct {
+	Label string `json:"label"`
+	// Target describes what was driven (URL and model).
+	Target string `json:"target"`
+	Model  string `json:"model"`
+	// Config echo, for reproducibility.
+	TargetRate  float64 `json:"target_rate_rps"`
+	Seed        int64   `json:"seed"`
+	Concurrency int     `json:"concurrency"`
+	// Measured totals.
+	DurationSeconds float64                  `json:"duration_seconds"`
+	AchievedRPS     float64                  `json:"achieved_rps"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
+	// RiskMapCacheHitRate is the fraction of successful riskmap responses
+	// served from a replica LRU ("cached": true) — the number affinity
+	// routing exists to raise.
+	RiskMapCacheHitRate float64 `json:"riskmap_cache_hit_rate"`
+}
+
+// op is one scheduled request.
+type op struct {
+	kind string
+	at   time.Duration // offset from run start
+	// parameters, pre-drawn for determinism
+	effort float64
+	cells  []int
+	post   int
+}
+
+// sample is one completed request.
+type sample struct {
+	kind      string
+	latency   time.Duration
+	err       bool
+	shed      bool
+	rmCached  bool
+	rmCounted bool
+}
+
+// modelProbe is the slice of /v1/models the harness needs.
+type modelProbe struct {
+	Models []struct {
+		Name  string `json:"name"`
+		Cells int    `json:"cells"`
+		Posts int    `json:"posts"`
+	} `json:"models"`
+}
+
+// Run executes one load run.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 20
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Efforts) == 0 {
+		cfg.Efforts = []float64{1, 1.5, 2, 2.5}
+	}
+	if cfg.Weights == nil {
+		cfg.Weights = map[string]int{"predict": 5, "riskmap": 5, "plan": 1, "job": 1}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+
+	model, cells, posts, err := discover(ctx, client, cfg.BaseURL, cfg.Model)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ops := buildOps(cfg, cells, posts)
+	if len(ops) == 0 {
+		return Result{}, fmt.Errorf("load: empty op schedule (rate %.1f × %s)", cfg.Rate, cfg.Duration)
+	}
+
+	// Open-loop dispatch: each op fires at its scheduled offset; the
+	// semaphore bounds in-flight work. Latency runs from the scheduled
+	// start, so server-side queueing is charged to the server.
+	samples := make([]sample, len(ops))
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, o := range ops {
+		if d := time.Until(start.Add(o.at)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int, o op) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			scheduled := start.Add(o.at)
+			s := doOp(ctx, client, cfg.BaseURL, model, o)
+			s.latency = time.Since(scheduled)
+			samples[i] = s
+		}(i, o)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return aggregate(cfg, model, samples, elapsed), nil
+}
+
+// discover reads /v1/models off the target and picks the driven model.
+func discover(ctx context.Context, client *http.Client, base, want string) (model string, cells, posts int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/models", nil)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("load: probing %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	var probe modelProbe
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		return "", 0, 0, fmt.Errorf("load: bad /v1/models response: %w", err)
+	}
+	for _, m := range probe.Models {
+		if want == "" || m.Name == want {
+			return m.Name, m.Cells, m.Posts, nil
+		}
+	}
+	return "", 0, 0, fmt.Errorf("load: target serves no model %q (%d models)", want, len(probe.Models))
+}
+
+// buildOps pre-draws the deterministic op schedule.
+func buildOps(cfg Config, cells, posts int) []op {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kinds := []string{"predict", "riskmap", "plan", "job"} // fixed draw order
+	var weighted []string
+	for _, k := range kinds {
+		for i := 0; i < cfg.Weights[k]; i++ {
+			weighted = append(weighted, k)
+		}
+	}
+	if len(weighted) == 0 {
+		return nil
+	}
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	ops := make([]op, 0, total)
+	for i := 0; i < total; i++ {
+		o := op{
+			kind:   weighted[rng.Intn(len(weighted))],
+			at:     time.Duration(i) * interval,
+			effort: cfg.Efforts[rng.Intn(len(cfg.Efforts))],
+		}
+		switch o.kind {
+		case "predict":
+			o.cells = make([]int, 8)
+			for j := range o.cells {
+				o.cells[j] = rng.Intn(max(cells, 1))
+			}
+		case "plan":
+			if posts > 0 {
+				o.post = rng.Intn(posts)
+			}
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// doOp performs one request and classifies the outcome.
+func doOp(ctx context.Context, client *http.Client, base, model string, o op) sample {
+	s := sample{kind: o.kind}
+	switch o.kind {
+	case "predict":
+		body, _ := json.Marshal(map[string]any{"model": model, "effort": o.effort, "cells": o.cells})
+		s.err = !post2xx(ctx, client, base+"/v1/predict", body, nil)
+	case "riskmap":
+		var rm struct {
+			Cached bool `json:"cached"`
+		}
+		url := fmt.Sprintf("%s/v1/riskmap?model=%s&effort=%g", base, model, o.effort)
+		if get2xx(ctx, client, url, &rm) {
+			s.rmCounted, s.rmCached = true, rm.Cached
+		} else {
+			s.err = true
+		}
+	case "plan":
+		body, _ := json.Marshal(map[string]any{"model": model, "post": o.post, "beta": 0.9})
+		s.err = !post2xx(ctx, client, base+"/v1/plan", body, nil)
+	case "job":
+		s = doJobOp(ctx, client, base, model, o)
+	}
+	return s
+}
+
+// doJobOp submits a riskmap job and polls it to completion; the sample's
+// latency covers submit → terminal state (assigned by the caller from the
+// scheduled start).
+func doJobOp(ctx context.Context, client *http.Client, base, model string, o op) sample {
+	s := sample{kind: "job"}
+	body, _ := json.Marshal(map[string]any{
+		"kind":    "riskmap",
+		"riskmap": map[string]any{"model": model, "effort": o.effort},
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		s.err = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		s.err = true
+		return s
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		s.shed = true
+		return s
+	}
+	var snap struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode != http.StatusAccepted || json.Unmarshal(raw, &snap) != nil || snap.ID == "" {
+		s.err = true
+		return s
+	}
+	for {
+		var st struct {
+			State string `json:"state"`
+		}
+		if !get2xx(ctx, client, base+"/v1/jobs/"+snap.ID, &st) {
+			s.err = true
+			return s
+		}
+		switch st.State {
+		case "done":
+			return s
+		case "failed", "canceled":
+			s.err = true
+			return s
+		}
+		select {
+		case <-ctx.Done():
+			s.err = true
+			return s
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func get2xx(ctx context.Context, client *http.Client, url string, out any) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || resp.StatusCode/100 != 2 {
+		return false
+	}
+	if out != nil && json.Unmarshal(raw, out) != nil {
+		return false
+	}
+	return true
+}
+
+func post2xx(ctx context.Context, client *http.Client, url string, body []byte, out any) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || resp.StatusCode/100 != 2 {
+		return false
+	}
+	if out != nil && json.Unmarshal(raw, out) != nil {
+		return false
+	}
+	return true
+}
+
+// aggregate folds samples into the run result.
+func aggregate(cfg Config, model string, samples []sample, elapsed time.Duration) Result {
+	byKind := map[string][]time.Duration{}
+	stats := map[string]*EndpointStats{}
+	rmHits, rmTotal := 0, 0
+	for _, s := range samples {
+		st := stats[s.kind]
+		if st == nil {
+			st = &EndpointStats{}
+			stats[s.kind] = st
+		}
+		st.Requests++
+		switch {
+		case s.shed:
+			st.Shed++
+		case s.err:
+			st.Errors++
+		default:
+			byKind[s.kind] = append(byKind[s.kind], s.latency)
+		}
+		if s.rmCounted {
+			rmTotal++
+			if s.rmCached {
+				rmHits++
+			}
+		}
+	}
+	label := cfg.Label
+	if label == "" {
+		label = cfg.BaseURL
+	}
+	res := Result{
+		Label:           label,
+		Target:          cfg.BaseURL,
+		Model:           model,
+		TargetRate:      cfg.Rate,
+		Seed:            cfg.Seed,
+		Concurrency:     cfg.Concurrency,
+		DurationSeconds: elapsed.Seconds(),
+		AchievedRPS:     float64(len(samples)) / elapsed.Seconds(),
+		Endpoints:       map[string]EndpointStats{},
+	}
+	for kind, st := range stats {
+		lats := byKind[kind]
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		if n := len(lats); n > 0 {
+			var sum time.Duration
+			for _, l := range lats {
+				sum += l
+			}
+			st.MeanMS = roundMS(sum / time.Duration(n))
+			st.P50MS = roundMS(percentile(lats, 0.50))
+			st.P95MS = roundMS(percentile(lats, 0.95))
+			st.P99MS = roundMS(percentile(lats, 0.99))
+		}
+		st.ThroughputRPS = round3(float64(st.Requests-st.Errors-st.Shed) / elapsed.Seconds())
+		res.Endpoints[kind] = *st
+	}
+	if rmTotal > 0 {
+		res.RiskMapCacheHitRate = round3(float64(rmHits) / float64(rmTotal))
+	}
+	return res
+}
+
+// percentile reads the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func roundMS(d time.Duration) float64 { return round3(float64(d) / float64(time.Millisecond)) }
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"paws"
+	"paws/internal/serve"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1..100ms sorted
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.q); got != c.want {
+			t.Errorf("percentile(q=%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	if got := percentile(lats[:1], 0.99); got != time.Millisecond {
+		t.Errorf("percentile(single, 0.99) = %v, want 1ms", got)
+	}
+}
+
+func TestBuildOpsDeterministicAndMixed(t *testing.T) {
+	cfg := Config{Rate: 50, Duration: 2 * time.Second, Seed: 42,
+		Efforts: []float64{1, 2}, Weights: map[string]int{"predict": 5, "riskmap": 5, "plan": 1, "job": 1}}
+	a := buildOps(cfg, 16, 2)
+	b := buildOps(cfg, 16, 2)
+	if len(a) != 100 {
+		t.Fatalf("want 100 ops, got %d", len(a))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i].kind != b[i].kind || a[i].effort != b[i].effort || a[i].post != b[i].post {
+			t.Fatalf("op %d differs between identical-seed builds: %+v vs %+v", i, a[i], b[i])
+		}
+		counts[a[i].kind]++
+	}
+	for _, k := range []string{"predict", "riskmap", "plan", "job"} {
+		if counts[k] == 0 {
+			t.Errorf("mix produced zero %s ops: %v", k, counts)
+		}
+	}
+	cfg.Seed = 43
+	c := buildOps(cfg, 16, 2)
+	same := true
+	for i := range a {
+		if a[i].kind != c[i].kind || a[i].effort != c[i].effort {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical op sequences")
+	}
+}
+
+func TestMergeIntoUpsertsByLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := MergeInto(path, Result{Label: "b", AchievedRPS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeInto(path, Result{Label: "a", AchievedRPS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeInto(path, Result{Label: "b", AchievedRPS: 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 {
+		t.Fatalf("want 2 labeled runs after upsert, got %d", len(bf.Runs))
+	}
+	if bf.Runs[0].Label != "a" || bf.Runs[1].Label != "b" {
+		t.Fatalf("runs not sorted by label: %q, %q", bf.Runs[0].Label, bf.Runs[1].Label)
+	}
+	if bf.Runs[1].AchievedRPS != 3 {
+		t.Fatalf("label b not replaced: rps=%v", bf.Runs[1].AchievedRPS)
+	}
+}
+
+// TestRunAgainstServer drives a short deterministic run against a real
+// serve.Server with a cheap model and checks the aggregate shape: every
+// endpoint in the mix saw traffic, nothing errored, latencies are
+// ordered, and the small effort set produced riskmap cache hits.
+func TestRunAgainstServer(t *testing.T) {
+	ctx := context.Background()
+	svc := paws.NewService(paws.WithWorkers(2), paws.WithSeed(7))
+	sc, err := svc.Scenario(ctx, "rand:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	year := sc.Data.Steps[len(sc.Data.Steps)-1].Year
+	split, err := sc.Data.SplitByTestYear(year, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := svc.Train(ctx, split.Train,
+		paws.WithKind(paws.DTBiW), paws.WithThresholds(4), paws.WithEnsembleSize(4), paws.WithTreeDepth(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFrom, _ := sc.Data.StepsForYear(year)
+	if _, err := svc.AddModel(ctx, "default", m, sc.Data, testFrom-1); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.New(svc, serve.Config{JobWorkers: 2}))
+	defer srv.Close()
+
+	res, err := Run(ctx, Config{
+		BaseURL:     srv.URL,
+		Label:       "test",
+		Rate:        60,
+		Duration:    1500 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        7,
+		Efforts:     []float64{1, 2}, // tiny set → guaranteed repeat keys
+		Weights:     map[string]int{"predict": 4, "riskmap": 6, "plan": 1, "job": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "test" || res.Model != "default" {
+		t.Fatalf("bad run identity: label=%q model=%q", res.Label, res.Model)
+	}
+	total := 0
+	for _, kind := range []string{"predict", "riskmap", "plan", "job"} {
+		st, ok := res.Endpoints[kind]
+		if !ok || st.Requests == 0 {
+			t.Fatalf("endpoint %s saw no traffic: %+v", kind, res.Endpoints)
+		}
+		if st.Errors != 0 {
+			t.Errorf("endpoint %s had %d errors", kind, st.Errors)
+		}
+		if st.P50MS > st.P95MS || st.P95MS > st.P99MS {
+			t.Errorf("endpoint %s percentiles out of order: %+v", kind, st)
+		}
+		total += st.Requests
+	}
+	if total != 90 {
+		t.Errorf("want 90 total ops (60 rps × 1.5s), got %d", total)
+	}
+	if res.RiskMapCacheHitRate == 0 {
+		t.Error("expected riskmap cache hits with a 2-effort set, got hit rate 0")
+	}
+	if res.AchievedRPS <= 0 || res.DurationSeconds <= 0 {
+		t.Errorf("degenerate run totals: %+v", res)
+	}
+}

@@ -85,6 +85,10 @@ type TrainJobResponse struct {
 	AUC         float64 `json:"auc"`
 	FeatureDim  int     `json:"feature_dim"`
 	Generation  uint64  `json:"generation"`
+	// Hash and StoreGeneration identify the published artifact in the shared
+	// fleet store (set only when the server has a store attached).
+	Hash            string `json:"hash,omitempty"`
+	StoreGeneration uint64 `json:"store_generation,omitempty"`
 }
 
 // trainFn validates a train request and lowers it to a job function.
@@ -153,7 +157,7 @@ func (s *Server) trainFn(req TrainJobRequest) (job.Fn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return TrainJobResponse{
+		resp := TrainJobResponse{
 			Name:        req.Name,
 			Kind:        kind.String(),
 			Park:        park,
@@ -163,7 +167,27 @@ func (s *Server) trainFn(req TrainJobRequest) (job.Fn, error) {
 			AUC:         m.AUC(split.Test),
 			FeatureDim:  sm.FeatureDim(),
 			Generation:  sm.Generation(),
-		}, nil
+		}
+		// In a fleet, a train job's contract includes publication: the model
+		// reaches the shared store (with the seed that regenerates its
+		// serving context) so every peer replica picks it up on its next
+		// sync poll. A publish failure fails the job — a model only this
+		// replica can serve would silently break "any replica answers any
+		// model".
+		if s.svc.ModelStore() != nil {
+			seed := req.Seed
+			if seed == 0 {
+				seed = s.svc.DefaultSeed()
+			}
+			entry, err := s.svc.PublishModel(req.Name, paws.StoreMeta{Park: park, Scale: scaleStr, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("model %q trained but not published to the fleet store: %w", req.Name, err)
+			}
+			publish(job.Event{Stage: "publish", Item: entry.Hash, Current: 1, Total: 1})
+			resp.Hash = entry.Hash
+			resp.StoreGeneration = entry.Generation
+		}
+		return resp, nil
 	}, nil
 }
 
@@ -411,6 +435,13 @@ type JobSubmitRequest struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	// Shed load before spending any work on the request: an overloaded
+	// replica answers 429 + Retry-After instead of queueing minutes of
+	// backlog it cannot serve in time.
+	if err := s.admitJob(); err != nil {
+		writeErr(w, err)
+		return
+	}
 	var req JobSubmitRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)

@@ -14,6 +14,19 @@ type lruCache struct {
 	max   int
 	ll    *list.List
 	items map[string]*list.Element
+	// hits / misses count get outcomes over the cache's lifetime — the
+	// observable signal behind /statusz cache stats, which is how the fleet
+	// load harness measures whether pawsgate's affinity routing actually
+	// concentrates repeat riskmap keys on the same replica.
+	hits, misses int64
+}
+
+// cacheStats is a point-in-time summary of the LRU, served by /statusz.
+type cacheStats struct {
+	Size   int   `json:"size"`
+	Max    int   `json:"max"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 type lruEntry struct {
@@ -35,8 +48,10 @@ func (c *lruCache) get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
@@ -67,4 +82,11 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// stats reports the cache's current size and lifetime hit/miss counts.
+func (c *lruCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Size: c.ll.Len(), Max: c.max, Hits: c.hits, Misses: c.misses}
 }

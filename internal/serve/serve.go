@@ -12,8 +12,12 @@
 //	                     (Service.Simulate): PAWS vs baselines against a
 //	                     responsive poacher
 //	GET /v1/models     — discovery: the registered models and their serving
-//	                     context (kind, park, feature width, generation)
+//	                     context (kind, park, feature width, generation,
+//	                     provenance: memory-trained vs fleet store)
 //	GET /healthz       — liveness plus the registered model names
+//	GET /statusz       — replica load report (job queue depth, mean job
+//	                     cost, admission state, riskmap cache hit rates) —
+//	                     the signal pawsgate's least-loaded routing polls
 //
 // # Async jobs
 //
@@ -43,7 +47,10 @@
 // pool on an answer nobody is waiting for. Errors use a structured
 // envelope, {"error": {"code": …, "message": …}}, with machine-readable
 // codes (bad_request, unknown_model, unknown_job, deadline, canceled,
-// conflict, shutting_down).
+// conflict, shutting_down, overloaded). Job submissions additionally pass
+// an admission gate (Config.AdmissionBudget / AdmissionMaxQueue): once the
+// estimated backlog exceeds the budget, submissions are shed with 429 +
+// Retry-After instead of queueing work the replica cannot serve in time.
 package serve
 
 import (
@@ -82,6 +89,23 @@ type Config struct {
 	// JobMaxRetained bounds how many finished jobs are retained (default
 	// 64; the oldest-finished evict first).
 	JobMaxRetained int
+	// ReplicaID names this replica in a fleet. Non-empty, it namespaces job
+	// IDs ("j-<replica>-000001") so a routing proxy (pawsgate) can tell which
+	// replica owns a job, and it is reported by /statusz. Empty keeps the
+	// single-process ID format.
+	ReplicaID string
+	// AdmissionBudget bounds the estimated job backlog: when (queued +
+	// running) × mean job runtime exceeds it, job submissions (async and the
+	// one-shot job behind synchronous /v1/simulate) are rejected with a
+	// structured 429 ("overloaded") carrying a Retry-After estimate, instead
+	// of quietly queueing minutes of work. 0 disables backlog admission
+	// control.
+	AdmissionBudget time.Duration
+	// AdmissionMaxQueue bounds the queue outright: at or beyond this many
+	// queued jobs, submissions are rejected with 429 regardless of the
+	// backlog estimate (which needs at least one completed job to be
+	// non-zero). 0 disables the bound.
+	AdmissionMaxQueue int
 }
 
 // Server is the HTTP layer over a paws.Service. It is an http.Handler.
@@ -112,9 +136,11 @@ func New(svc *paws.Service, cfg Config) *Server {
 			Workers:     cfg.JobWorkers,
 			ResultTTL:   cfg.JobResultTTL,
 			MaxRetained: cfg.JobMaxRetained,
+			IDPrefix:    cfg.ReplicaID,
 		}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/riskmap", s.handleRiskMap)
@@ -164,7 +190,28 @@ const (
 	CodeCanceled     = "canceled"
 	CodeConflict     = "conflict"
 	CodeShuttingDown = "shutting_down"
+	CodeOverloaded   = "overloaded"
 )
+
+// overloadedError is the admission-control rejection: the replica's job
+// backlog exceeds its configured budget. It renders as a structured 429
+// with a Retry-After header estimating when the backlog should have
+// drained below the budget.
+type overloadedError struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *overloadedError) Error() string { return e.msg }
+
+// RetryAfterSeconds is the Retry-After value (whole seconds, at least 1).
+func (e *overloadedError) RetryAfterSeconds() int {
+	secs := int(math.Ceil(e.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
 
 // ErrorDetail is the structured payload of every non-2xx response.
 type ErrorDetail struct {
@@ -189,7 +236,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // convention), result not ready → 409, draining → 503, anything else the
 // service rejected → 400.
 func errorStatus(err error) (int, string) {
+	var ov *overloadedError
 	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, CodeOverloaded
 	case errors.Is(err, paws.ErrUnknownModel):
 		return http.StatusNotFound, CodeUnknownModel
 	case errors.Is(err, job.ErrUnknownJob):
@@ -207,9 +257,15 @@ func errorStatus(err error) (int, string) {
 	}
 }
 
-// writeErr renders an error as the structured envelope.
+// writeErr renders an error as the structured envelope. Admission
+// rejections additionally carry a Retry-After header so well-behaved
+// clients (and pawsgate) know when to come back.
 func writeErr(w http.ResponseWriter, err error) {
 	status, code := errorStatus(err)
+	var ov *overloadedError
+	if errors.As(err, &ov) {
+		w.Header().Set("Retry-After", strconv.Itoa(ov.RetryAfterSeconds()))
+	}
 	writeJSON(w, status, errorResponse{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
@@ -248,9 +304,17 @@ type ModelInfo struct {
 	Cells int    `json:"cells"`
 	// FeatureDim is the feature-vector width /v1/predict expects.
 	FeatureDim int `json:"feature_dim"`
+	// Posts is the number of patrol posts /v1/plan accepts for this park.
+	Posts int `json:"posts"`
 	// Generation is the registry registration number (bumps when a name is
 	// re-registered); cache keys should include it.
 	Generation uint64 `json:"generation"`
+	// Source reports where the model came from: "memory" (trained or loaded
+	// by this replica) or "store" (pulled from the shared fleet store).
+	Source string `json:"source"`
+	// Hash is the model artifact's content hash in the fleet store (empty
+	// when the model was never published).
+	Hash string `json:"hash,omitempty"`
 }
 
 type modelsResponse struct {
@@ -260,13 +324,17 @@ type modelsResponse struct {
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	resp := modelsResponse{Models: []ModelInfo{}}
 	for _, sm := range s.svc.ServedModels() {
+		source, hash, _ := sm.Provenance()
 		resp.Models = append(resp.Models, ModelInfo{
 			Name:       sm.Name,
 			Kind:       sm.Model.Kind.String(),
 			Park:       sm.Park().Name,
 			Cells:      sm.Park().Grid.NumCells(),
+			Posts:      len(sm.Park().Posts),
 			FeatureDim: sm.FeatureDim(),
 			Generation: sm.Generation(),
+			Source:     source,
+			Hash:       hash,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -582,6 +650,12 @@ func (s *Server) simulateFn(req SimulateRequest) (job.Fn, error) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// The synchronous endpoint runs a one-shot job on the same worker pool,
+	// so it passes through the same admission gate as async submissions.
+	if err := s.admitJob(); err != nil {
+		writeErr(w, err)
+		return
+	}
 	var req SimulateRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishLookupGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("PAWSMODL-test-blob-1")
+	e, err := s.Publish(Entry{Name: "default", Kind: "DTB-iW", Park: "MFNP", Scale: "small", Seed: 7}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Hash != HashBytes(blob) || e.Generation != 1 {
+		t.Fatalf("published entry %+v", e)
+	}
+	got, err := s.Lookup("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("lookup %+v != published %+v", got, e)
+	}
+	back, err := s.Get(e.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(blob) {
+		t.Fatalf("blob round trip: %q != %q", back, blob)
+	}
+	if _, err := s.Lookup("nope"); err == nil {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+}
+
+func TestPublishBumpsGenerationAndKeepsOldBlobs(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := s.Publish(Entry{Name: "m", Park: "MFNP"}, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Publish(Entry{Name: "m", Park: "MFNP"}, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Generation != e1.Generation+1 {
+		t.Fatalf("generations %d then %d, want +1", e1.Generation, e2.Generation)
+	}
+	// Content addressing: the superseded artifact is still readable (a
+	// replica mid-download of generation 1 must not 404).
+	if _, err := s.Get(e1.Hash); err != nil {
+		t.Fatalf("old blob gone: %v", err)
+	}
+	got, err := s.Lookup("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != e2.Hash || got.Generation != e2.Generation {
+		t.Fatalf("index entry %+v, want the later publish %+v", got, e2)
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Publish(Entry{Name: "m"}, []byte("clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.blobPath(e.Hash), []byte("dirty"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(e.Hash); err == nil {
+		t.Fatal("corrupt blob read succeeded")
+	}
+}
+
+// TestConcurrentPublishSameName is the two-replicas-publish-one-name race:
+// many goroutines, each with its OWN handle on the shared directory (the
+// multi-process topology), publish the same name concurrently while a
+// reader continuously reloads the index. The index must parse on every
+// read (atomic rename → never torn), generations must be dense, and the
+// final entry must be the publish that was assigned the highest generation
+// — last-writer-wins.
+func TestConcurrentPublishSameName(t *testing.T) {
+	dir := t.TempDir()
+	const publishers, rounds = 4, 8
+
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerErr)
+		rs, err := Open(dir)
+		if err != nil {
+			readerErr <- err
+			return
+		}
+		var lastGen uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			idx, _, err := rs.Load()
+			if err != nil {
+				readerErr <- fmt.Errorf("torn or invalid index: %w", err)
+				return
+			}
+			if e, ok := idx.Models["shared"]; ok {
+				if e.Generation < lastGen {
+					readerErr <- fmt.Errorf("generation went backwards: %d after %d", e.Generation, lastGen)
+					return
+				}
+				lastGen = e.Generation
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	byGen := map[uint64]string{} // generation → hash the publisher wrote
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s, err := Open(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				blob := []byte(fmt.Sprintf("model-p%d-r%d", p, r))
+				e, err := s.Publish(Entry{Name: "shared", Park: "MFNP"}, blob)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if prev, dup := byGen[e.Generation]; dup {
+					t.Errorf("generation %d assigned twice (%s and %s)", e.Generation, prev, e.Hash)
+				}
+				byGen[e.Generation] = e.Hash
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Lookup("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(publishers * rounds)
+	if final.Generation != total {
+		t.Fatalf("final generation %d, want %d (dense under the publish lock)", final.Generation, total)
+	}
+	if want := byGen[total]; final.Hash != want {
+		t.Fatalf("index hash %s is not the last writer's %s", final.Hash, want)
+	}
+	// Every published artifact stayed addressable.
+	for gen, hash := range byGen {
+		if _, err := s.Get(hash); err != nil {
+			t.Fatalf("blob of generation %d unreadable: %v", gen, err)
+		}
+	}
+}
+
+func TestStatTracksIndexChanges(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, size, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mt.IsZero() || size != 0 {
+		t.Fatalf("empty store stat = (%v, %d), want zero values", mt, size)
+	}
+	if _, err := s.Publish(Entry{Name: "a"}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mt1, size1, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt1.IsZero() || size1 == 0 {
+		t.Fatal("stat did not observe the first publish")
+	}
+	// Force a distinguishable mtime even on coarse filesystem clocks.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(s.dir, indexName), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(Entry{Name: "b"}, []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+	mt2, size2, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mt2.After(past) && size2 == size1 {
+		t.Fatal("second publish changed neither mtime nor size")
+	}
+}

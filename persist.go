@@ -73,6 +73,17 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
+// SaveBytes returns the model's versioned binary encoding in memory. The
+// encoding is deterministic (same model → identical bytes), which is what
+// lets the fleet store (internal/store) address artifacts by content hash.
+func (m *Model) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // SaveFile writes the model to a file via Save, creating or truncating it.
 func (m *Model) SaveFile(path string) error {
 	f, err := os.Create(path)
@@ -116,6 +127,12 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("%w: kind %v does not match stored state", ErrBadModelFile, env.Kind)
 	}
 	return &Model{Kind: env.Kind, opts: env.Opts, numFeatures: env.NumFeatures, plain: env.Plain, iw: env.IW}, nil
+}
+
+// LoadModelBytes reads a model from its in-memory encoding (SaveBytes) —
+// the decode half of the fleet store's artifact path.
+func LoadModelBytes(b []byte) (*Model, error) {
+	return LoadModel(bytes.NewReader(b))
 }
 
 // LoadModelFile reads a model file written by SaveFile.

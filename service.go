@@ -13,6 +13,7 @@ import (
 	"paws/internal/ml"
 	"paws/internal/par"
 	"paws/internal/plan"
+	"paws/internal/store"
 )
 
 // Service is the long-lived façade over the PAWS pipeline: one value that
@@ -35,6 +36,10 @@ type Service struct {
 
 	mu     sync.RWMutex
 	models map[string]*ServedModel
+	// store is the optional shared fleet store (AttachStore): models
+	// published into it become visible to every replica polling the same
+	// directory (see fleet.go).
+	store *store.Store
 	// gen numbers model registrations; caches key on it to tell two models
 	// registered under the same name apart (pointer identity can be reused
 	// by the allocator after the old model is collected).
@@ -72,6 +77,23 @@ type ServedModel struct {
 	featureDim int
 	// gen is the service-wide registration number (see Generation).
 	gen uint64
+
+	// provMu guards the mutable provenance below: a model registered from
+	// memory gains a hash when it is published to the fleet store, after
+	// registration.
+	provMu sync.Mutex
+	// source records where the artifact came from: "memory" (trained or
+	// loaded in this process) or "store" (pulled from the shared fleet
+	// store by a StoreSyncer).
+	source string
+	// hash is the sha256 of the model's PAWSMODL encoding, when known —
+	// set for store-sourced models and for memory models that have been
+	// published, so operators can tell which replica serves which artifact.
+	hash string
+	// storeGen is the fleet-store generation this entry corresponds to
+	// (0 when the model never touched the store); the syncer re-registers
+	// a name when the store's generation moves past it.
+	storeGen uint64
 }
 
 // Generation returns the registration number of this entry, unique within
@@ -87,6 +109,32 @@ func (sm *ServedModel) PlannerModel() *PlannerModel { return sm.pm }
 
 // FeatureDim returns the feature-vector width Predict expects.
 func (sm *ServedModel) FeatureDim() int { return sm.featureDim }
+
+// Model artifact sources reported by Provenance.
+const (
+	// SourceMemory marks a model trained or loaded inside this process.
+	SourceMemory = "memory"
+	// SourceStore marks a model pulled from the shared fleet store.
+	SourceStore = "store"
+)
+
+// Provenance reports where the served artifact came from (SourceMemory or
+// SourceStore), its content hash when known (sha256 of the PAWSMODL
+// encoding; empty for unpublished memory models), and the fleet-store
+// generation it corresponds to (0 when it never touched the store).
+func (sm *ServedModel) Provenance() (source, hash string, storeGen uint64) {
+	sm.provMu.Lock()
+	defer sm.provMu.Unlock()
+	return sm.source, sm.hash, sm.storeGen
+}
+
+// setProvenance updates the provenance fields (publishing a memory model
+// stamps its hash and store generation after registration).
+func (sm *ServedModel) setProvenance(source, hash string, storeGen uint64) {
+	sm.provMu.Lock()
+	defer sm.provMu.Unlock()
+	sm.source, sm.hash, sm.storeGen = source, hash, storeGen
+}
 
 // ------------------------------------------------------------- compute API
 
@@ -199,6 +247,7 @@ func (s *Service) AddModel(ctx context.Context, name string, m *Model, d *datase
 		pm:         pm,
 		featureDim: d.Park.NumFeatures() + 1,
 		gen:        s.gen.Add(1),
+		source:     SourceMemory,
 	}
 	s.mu.Lock()
 	s.models[name] = sm
