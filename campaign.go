@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"paws/internal/campaign"
+	"paws/internal/obs"
 	"paws/internal/poach"
 	"paws/internal/sim"
 )
@@ -137,7 +138,17 @@ func (s *Service) Campaign(ctx context.Context, cfg CampaignConfig, opts ...Opti
 	if err != nil {
 		return nil, err
 	}
+	// Cells run inside internal/campaign's own job manager on fresh
+	// contexts, so the caller's trace (if any) is re-attached per cell —
+	// each grid cell then records one span, and the seasons inside it
+	// record theirs, all under the submitting request's trace.
+	tr := obs.TraceFrom(ctx)
 	runner := func(ctx context.Context, cell campaign.Cell) (*sim.Report, error) {
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		end := obs.StartSpan(ctx, "cell", fmt.Sprintf("%s/seed=%d/seasons=%d", cell.Park, cell.Seed, cell.Seasons))
+		defer end()
 		// Fresh option slice per cell: appending to the caller's opts from
 		// concurrent cells would race on the shared backing array.
 		cellOpts := make([]Option, 0, len(opts)+2)

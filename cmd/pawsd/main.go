@@ -205,9 +205,12 @@ func run(o options) error {
 		AdmissionBudget:   o.admissionBudget,
 		AdmissionMaxQueue: o.admissionMaxQueue,
 	})
-	// /statusz rides the -pprof debug listener too, so operators can check
-	// a replica's load without going through the serving port (or the gate).
+	// /statusz, /metricsz and /tracez ride the -pprof debug listener too,
+	// so operators can check a replica's load, scrape its metrics and read
+	// its trace ring without going through the serving port (or the gate).
 	http.DefaultServeMux.Handle("GET /statusz", handler.StatuszHandler())
+	http.DefaultServeMux.Handle("GET /metricsz", handler.MetricsHandler())
+	http.DefaultServeMux.Handle("GET /tracez", handler.TracezHandler())
 
 	srv := &http.Server{
 		Addr:              o.addr,

@@ -90,6 +90,9 @@ func report(res load.Result) {
 		st := res.Endpoints[k]
 		fmt.Printf("  %-8s n=%-5d err=%-3d shed=%-3d p50=%8.1fms p95=%8.1fms p99=%8.1fms\n",
 			k, st.Requests, st.Errors, st.Shed, st.P50MS, st.P95MS, st.P99MS)
+		for _, sl := range st.Slowest {
+			fmt.Printf("           slowest %8.1fms trace=%s\n", sl.LatencyMS, sl.TraceID)
+		}
 	}
 	fmt.Printf("  riskmap cache hit rate: %.1f%%\n", res.RiskMapCacheHitRate*100)
 }

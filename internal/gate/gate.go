@@ -48,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paws/internal/obs"
 )
 
 // Config tunes a Gate.
@@ -64,6 +66,8 @@ type Config struct {
 	// no overall timeout — event streams are long-lived; per-request
 	// contexts bound everything else).
 	Client *http.Client
+	// TraceCapacity bounds the gate's /tracez flight recorder (default 64).
+	TraceCapacity int
 }
 
 // backend is one replica behind the gate.
@@ -75,9 +79,13 @@ type backend struct {
 	// poll of a replica that has one).
 	name    string
 	healthy bool
-	// queued/running/meanJob mirror the last /statusz poll.
+	// queued/running/meanJob/completed mirror the last /statusz poll.
+	// completed distinguishes a cold replica (no jobs finished yet, so
+	// meanJob 0 is "unknown") from a warm one whose jobs are genuinely
+	// fast.
 	queued, running int
 	meanJob         float64
+	completed       int64
 
 	// submits counts job submissions routed here since the last poll —
 	// the between-polls correction for least-loaded routing.
@@ -99,10 +107,14 @@ func (b *backend) isHealthy() bool {
 	return b.healthy
 }
 
-func (b *backend) setHealthy(ok bool) {
+// setHealthy updates the flag and reports a healthy→unhealthy
+// transition (the event pawsgate_health_evictions_total counts).
+func (b *backend) setHealthy(ok bool) bool {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	evicted := b.healthy && !ok
 	b.healthy = ok
-	b.mu.Unlock()
+	return evicted
 }
 
 // Gate is the routing proxy. It is an http.Handler.
@@ -120,6 +132,9 @@ type Gate struct {
 
 	// routing counters, reported by /gatez.
 	affinityRouted, rrRouted, leastLoadedRouted, retries atomic.Int64
+
+	metrics *gateMetrics
+	tracer  *obs.Recorder
 }
 
 // maxBodyBytes bounds a buffered request body; the largest legitimate
@@ -139,7 +154,7 @@ func New(cfg Config) (*Gate, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	g := &Gate{cfg: cfg, client: client, owners: map[string]*backend{}}
+	g := &Gate{cfg: cfg, client: client, owners: map[string]*backend{}, tracer: obs.NewRecorder(cfg.TraceCapacity)}
 	for _, raw := range cfg.Backends {
 		u, err := url.Parse(raw)
 		if err != nil || u.Scheme == "" || u.Host == "" {
@@ -147,6 +162,7 @@ func New(cfg Config) (*Gate, error) {
 		}
 		g.backends = append(g.backends, &backend{url: strings.TrimRight(raw, "/")})
 	}
+	g.metrics = newGateMetrics(g)
 	g.PollOnce()
 	return g, nil
 }
@@ -184,6 +200,7 @@ type statuszProbe struct {
 	Jobs    struct {
 		Queued         int     `json:"queued"`
 		Running        int     `json:"running"`
+		Completed      int64   `json:"completed"`
 		MeanJobSeconds float64 `json:"mean_job_seconds"`
 	} `json:"jobs"`
 }
@@ -192,25 +209,25 @@ type statuszProbe struct {
 func (g *Gate) pollBackend(b *backend) {
 	req, err := http.NewRequest(http.MethodGet, b.url+"/statusz", nil)
 	if err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return
 	}
 	client := *g.client
 	client.Timeout = 2 * time.Second
 	resp, err := client.Do(req)
 	if err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil || resp.StatusCode != http.StatusOK {
-		b.setHealthy(false)
+		g.markDown(b)
 		return
 	}
 	var probe statuszProbe
 	if err := json.Unmarshal(body, &probe); err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return
 	}
 	b.mu.Lock()
@@ -220,6 +237,7 @@ func (g *Gate) pollBackend(b *backend) {
 	}
 	b.queued = probe.Jobs.Queued
 	b.running = probe.Jobs.Running
+	b.completed = probe.Jobs.Completed
 	b.meanJob = probe.Jobs.MeanJobSeconds
 	b.mu.Unlock()
 	// The poll re-based queued+running, so the between-polls correction
@@ -265,13 +283,39 @@ func (g *Gate) pickAffinity(healthy []*backend, key string) *backend {
 
 // pickLeastLoaded takes the backend with the fewest committed jobs
 // (statusz queued+running, plus submissions the gate routed there since
-// the last poll). Ties keep configuration order.
+// the last poll). Ties break on expected per-job cost: a replica that
+// has completed jobs ranks by its reported EWMA, while a cold replica
+// (completed == 0, so its meanJob of 0 means "unknown", not "fast") is
+// ranked pessimistically behind every warm candidate. Remaining ties
+// keep configuration order.
 func (g *Gate) pickLeastLoaded(healthy []*backend) *backend {
-	best := healthy[0]
-	bestLoad := best.load()
+	type score struct {
+		load    int64
+		cold    bool
+		meanJob float64
+	}
+	scoreOf := func(b *backend) score {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return score{
+			load:    int64(b.queued+b.running) + b.submits.Load(),
+			cold:    b.completed == 0,
+			meanJob: b.meanJob,
+		}
+	}
+	better := func(a, b score) bool {
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		if a.cold != b.cold {
+			return !a.cold
+		}
+		return a.meanJob < b.meanJob
+	}
+	best, bestScore := healthy[0], scoreOf(healthy[0])
 	for _, b := range healthy[1:] {
-		if l := b.load(); l < bestLoad {
-			best, bestLoad = b, l
+		if s := scoreOf(b); better(s, bestScore) {
+			best, bestScore = b, s
 		}
 	}
 	return best
@@ -315,26 +359,38 @@ type errorEnvelope struct {
 	Error struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
+		TraceID string `json:"trace_id,omitempty"`
 	} `json:"error"`
 }
 
-// writeGateErr renders a gate-originated error in serve's envelope shape,
-// so clients parse one error format whether it came from a replica or
-// from the gate itself.
+// writeGateErr renders a gate-originated error in serve's envelope shape
+// (including the trace_id correlation field, read from the response's
+// already-set X-Paws-Trace header), so clients parse one error format
+// whether it came from a replica or from the gate itself.
 func writeGateErr(w http.ResponseWriter, status int, code, msg string) {
 	var env errorEnvelope
 	env.Error.Code = code
 	env.Error.Message = msg
+	env.Error.TraceID = w.Header().Get(obs.TraceHeader)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(env)
 }
 
-// ServeHTTP implements http.Handler: classify the route, pick a backend,
-// proxy.
-func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/gatez" {
+// route classifies the request, picks a backend and proxies (ServeHTTP,
+// in obs.go, wraps it with tracing and metrics).
+func (g *Gate) route(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/gatez":
 		g.handleGatez(w, r)
+		return
+	case "/metricsz":
+		// The gate answers for itself; replica metrics are scraped from
+		// the replicas directly.
+		g.metrics.registry.Handler().ServeHTTP(w, r)
+		return
+	case "/tracez":
+		g.tracer.Handler().ServeHTTP(w, r)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
@@ -356,26 +412,31 @@ func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
 	case r.Method == http.MethodGet && path == "/v1/jobs":
+		g.metrics.routeTotal.With("fanout").Inc()
 		g.handleJobListFanout(w, r, healthy)
 		return
 	case strings.HasPrefix(path, "/v1/jobs/"):
+		g.metrics.routeTotal.With("owner").Inc()
 		g.routeJobDetail(w, r, body, healthy)
 		return
 	case r.Method == http.MethodPost && (path == "/v1/jobs" || path == "/v1/simulate"):
 		b := g.pickLeastLoaded(healthy)
 		g.leastLoadedRouted.Add(1)
+		g.metrics.routeTotal.With("least_loaded").Inc()
 		b.submits.Add(1)
 		g.proxySubmit(w, r, body, b, path == "/v1/jobs")
 		return
 	case g.cfg.Affinity && path == "/v1/riskmap":
 		if key, ok := riskmapKey(r, body); ok {
 			g.affinityRouted.Add(1)
+			g.metrics.routeTotal.With("affinity").Inc()
 			g.proxyWithRetry(w, r, body, g.pickAffinity(healthy, key), healthy)
 			return
 		}
 	case g.cfg.Affinity && r.Method == http.MethodPost && path == "/v1/plan":
 		if key, ok := planKey(body); ok {
 			g.affinityRouted.Add(1)
+			g.metrics.routeTotal.With("affinity").Inc()
 			g.proxyWithRetry(w, r, body, g.pickAffinity(healthy, key), healthy)
 			return
 		}
@@ -383,6 +444,7 @@ func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Everything else — predict, models, healthz, statusz, unparseable
 	// affinity requests — round-robins.
 	g.rrRouted.Add(1)
+	g.metrics.routeTotal.With("round_robin").Inc()
 	g.proxyWithRetry(w, r, body, g.pickRoundRobin(healthy), healthy)
 }
 
@@ -563,9 +625,11 @@ func (g *Gate) proxyWithRetry(w http.ResponseWriter, r *http.Request, body []byt
 // error with nothing written, so the caller may retry elsewhere; once any
 // response byte arrives the response is committed to this backend.
 func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, body []byte, b *backend) error {
+	endSpan := obs.StartSpan(r.Context(), "proxy", b.label())
+	defer endSpan()
 	resp, err := g.send(r, body, b)
 	if err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return err
 	}
 	defer resp.Body.Close()
@@ -596,22 +660,26 @@ func (g *Gate) proxy(w http.ResponseWriter, r *http.Request, body []byte, b *bac
 // — for routes that must inspect the answer (submissions, probes, list
 // fan-out). Transport failures mark the backend unhealthy.
 func (g *Gate) fetch(r *http.Request, body []byte, b *backend) (*http.Response, []byte, error) {
+	endSpan := obs.StartSpan(r.Context(), "proxy", b.label())
+	defer endSpan()
 	resp, err := g.send(r, body, b)
 	if err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		b.setHealthy(false)
+		g.markDown(b)
 		return nil, nil, err
 	}
 	b.proxied.Add(1)
 	return resp, raw, nil
 }
 
-// send builds and performs the outbound request.
+// send builds and performs the outbound request. The inbound headers
+// include X-Paws-Trace (set by ServeHTTP when the client sent none), so
+// the replica adopts the gate's trace ID.
 func (g *Gate) send(r *http.Request, body []byte, b *backend) (*http.Response, error) {
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
@@ -619,15 +687,23 @@ func (g *Gate) send(r *http.Request, body []byte, b *backend) (*http.Response, e
 	}
 	copyHeader(out.Header, r.Header)
 	out.Header.Del("Connection")
+	g.metrics.replicaPicks.With(b.label()).Inc()
 	return g.client.Do(out)
 }
 
-// copyHeader copies headers, skipping hop-by-hop fields.
+// copyHeader copies headers, skipping hop-by-hop fields. X-Paws-Trace
+// is skipped when the destination already carries it: the gate sets the
+// ID on its response up front, and the replica echoes the same ID back
+// — copying would duplicate the header.
 func copyHeader(dst, src http.Header) {
 	for k, vs := range src {
 		switch http.CanonicalHeaderKey(k) {
 		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade":
 			continue
+		case obs.TraceHeader:
+			if dst.Get(obs.TraceHeader) != "" {
+				continue
+			}
 		}
 		for _, v := range vs {
 			dst.Add(k, v)
@@ -642,8 +718,11 @@ type BackendStatus struct {
 	Healthy bool   `json:"healthy"`
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
-	// MeanJobSeconds is the replica's reported mean job runtime.
+	// MeanJobSeconds is the replica's reported mean job runtime; it is
+	// meaningful only when Completed > 0 (a cold replica reports 0).
 	MeanJobSeconds float64 `json:"mean_job_seconds"`
+	// Completed is the replica's lifetime finished-job count.
+	Completed int64 `json:"completed"`
 	// Proxied counts requests the gate sent here over its lifetime.
 	Proxied int64 `json:"proxied"`
 	// SubmitsSincePoll counts job submissions routed here since the last
@@ -675,6 +754,7 @@ func (g *Gate) Status() GatezResponse {
 			Queued:           b.queued,
 			Running:          b.running,
 			MeanJobSeconds:   b.meanJob,
+			Completed:        b.completed,
 			Proxied:          b.proxied.Load(),
 			SubmitsSincePoll: b.submits.Load(),
 		})

@@ -30,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"paws/internal/obs"
 )
 
 // Config tunes a load run.
@@ -61,6 +63,15 @@ type Config struct {
 	Client *http.Client
 }
 
+// SlowRequest is one of an endpoint's slowest successful requests, with
+// the server-assigned trace ID (the X-Paws-Trace response header) so a
+// tail-latency outlier in the bench file can be looked up in the
+// serving side's /tracez flight recorder.
+type SlowRequest struct {
+	LatencyMS float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
+}
+
 // EndpointStats aggregates one endpoint's outcomes.
 type EndpointStats struct {
 	Requests int `json:"requests"`
@@ -73,7 +84,13 @@ type EndpointStats struct {
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	// Slowest holds the top slowestK successful requests, latency
+	// descending, each with its server trace ID.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
+
+// slowestK bounds the per-endpoint slow-request log in the bench file.
+const slowestK = 3
 
 // Result is one labeled run's record in BENCH_load.json.
 type Result struct {
@@ -113,6 +130,9 @@ type sample struct {
 	shed      bool
 	rmCached  bool
 	rmCounted bool
+	// traceID is the server's X-Paws-Trace response header (for jobs,
+	// the submit response's — the ID the replica's job trace reuses).
+	traceID string
 }
 
 // modelProbe is the slice of /v1/models the harness needs.
@@ -262,20 +282,26 @@ func doOp(ctx context.Context, client *http.Client, base, model string, o op) sa
 	switch o.kind {
 	case "predict":
 		body, _ := json.Marshal(map[string]any{"model": model, "effort": o.effort, "cells": o.cells})
-		s.err = !post2xx(ctx, client, base+"/v1/predict", body, nil)
+		var ok bool
+		ok, s.traceID = post2xx(ctx, client, base+"/v1/predict", body, nil)
+		s.err = !ok
 	case "riskmap":
 		var rm struct {
 			Cached bool `json:"cached"`
 		}
 		url := fmt.Sprintf("%s/v1/riskmap?model=%s&effort=%g", base, model, o.effort)
-		if get2xx(ctx, client, url, &rm) {
+		var ok bool
+		ok, s.traceID = get2xx(ctx, client, url, &rm)
+		if ok {
 			s.rmCounted, s.rmCached = true, rm.Cached
 		} else {
 			s.err = true
 		}
 	case "plan":
 		body, _ := json.Marshal(map[string]any{"model": model, "post": o.post, "beta": 0.9})
-		s.err = !post2xx(ctx, client, base+"/v1/plan", body, nil)
+		var ok bool
+		ok, s.traceID = post2xx(ctx, client, base+"/v1/plan", body, nil)
+		s.err = !ok
 	case "job":
 		s = doJobOp(ctx, client, base, model, o)
 	}
@@ -304,6 +330,7 @@ func doJobOp(ctx context.Context, client *http.Client, base, model string, o op)
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
+	s.traceID = resp.Header.Get(obs.TraceHeader)
 	if resp.StatusCode == http.StatusTooManyRequests {
 		s.shed = true
 		return s
@@ -319,7 +346,7 @@ func doJobOp(ctx context.Context, client *http.Client, base, model string, o op)
 		var st struct {
 			State string `json:"state"`
 		}
-		if !get2xx(ctx, client, base+"/v1/jobs/"+snap.ID, &st) {
+		if ok, _ := get2xx(ctx, client, base+"/v1/jobs/"+snap.ID, &st); !ok {
 			s.err = true
 			return s
 		}
@@ -339,50 +366,58 @@ func doJobOp(ctx context.Context, client *http.Client, base, model string, o op)
 	}
 }
 
-func get2xx(ctx context.Context, client *http.Client, url string, out any) bool {
+// get2xx / post2xx report success and the response's X-Paws-Trace
+// header (empty on transport errors).
+func get2xx(ctx context.Context, client *http.Client, url string, out any) (bool, string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return false
+		return false, ""
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return false, ""
 	}
 	defer resp.Body.Close()
+	trace := resp.Header.Get(obs.TraceHeader)
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil || resp.StatusCode/100 != 2 {
-		return false
+		return false, trace
 	}
 	if out != nil && json.Unmarshal(raw, out) != nil {
-		return false
+		return false, trace
 	}
-	return true
+	return true, trace
 }
 
-func post2xx(ctx context.Context, client *http.Client, url string, body []byte, out any) bool {
+func post2xx(ctx context.Context, client *http.Client, url string, body []byte, out any) (bool, string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return false
+		return false, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return false, ""
 	}
 	defer resp.Body.Close()
+	trace := resp.Header.Get(obs.TraceHeader)
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil || resp.StatusCode/100 != 2 {
-		return false
+		return false, trace
 	}
 	if out != nil && json.Unmarshal(raw, out) != nil {
-		return false
+		return false, trace
 	}
-	return true
+	return true, trace
 }
 
 // aggregate folds samples into the run result.
 func aggregate(cfg Config, model string, samples []sample, elapsed time.Duration) Result {
-	byKind := map[string][]time.Duration{}
+	type timed struct {
+		latency time.Duration
+		traceID string
+	}
+	byKind := map[string][]timed{}
 	stats := map[string]*EndpointStats{}
 	rmHits, rmTotal := 0, 0
 	for _, s := range samples {
@@ -398,7 +433,7 @@ func aggregate(cfg Config, model string, samples []sample, elapsed time.Duration
 		case s.err:
 			st.Errors++
 		default:
-			byKind[s.kind] = append(byKind[s.kind], s.latency)
+			byKind[s.kind] = append(byKind[s.kind], timed{s.latency, s.traceID})
 		}
 		if s.rmCounted {
 			rmTotal++
@@ -423,17 +458,25 @@ func aggregate(cfg Config, model string, samples []sample, elapsed time.Duration
 		Endpoints:       map[string]EndpointStats{},
 	}
 	for kind, st := range stats {
-		lats := byKind[kind]
-		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-		if n := len(lats); n > 0 {
+		ts := byKind[kind]
+		sort.Slice(ts, func(a, b int) bool { return ts[a].latency < ts[b].latency })
+		if n := len(ts); n > 0 {
+			lats := make([]time.Duration, n)
 			var sum time.Duration
-			for _, l := range lats {
-				sum += l
+			for i, t := range ts {
+				lats[i] = t.latency
+				sum += t.latency
 			}
 			st.MeanMS = roundMS(sum / time.Duration(n))
 			st.P50MS = roundMS(percentile(lats, 0.50))
 			st.P95MS = roundMS(percentile(lats, 0.95))
 			st.P99MS = roundMS(percentile(lats, 0.99))
+			for i := n - 1; i >= 0 && len(st.Slowest) < slowestK; i-- {
+				st.Slowest = append(st.Slowest, SlowRequest{
+					LatencyMS: roundMS(ts[i].latency),
+					TraceID:   ts[i].traceID,
+				})
+			}
 		}
 		st.ThroughputRPS = round3(float64(st.Requests-st.Errors-st.Shed) / elapsed.Seconds())
 		res.Endpoints[kind] = *st

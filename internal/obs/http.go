@@ -1,0 +1,42 @@
+package obs
+
+import "net/http"
+
+// StatusWriter wraps a ResponseWriter to capture the response status
+// for metric labels and trace outcomes. It implements http.Flusher
+// unconditionally (delegating when the underlying writer supports it)
+// so streaming handlers — the NDJSON job-event stream, the gate's
+// chunk-flushing proxy — keep flushing through the wrapper.
+type StatusWriter struct {
+	http.ResponseWriter
+	Status int
+}
+
+func (w *StatusWriter) WriteHeader(code int) {
+	if w.Status == 0 {
+		w.Status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *StatusWriter) Write(b []byte) (int, error) {
+	if w.Status == 0 {
+		w.Status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *StatusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// StatusCode returns the captured status, defaulting to 200 for
+// handlers that never called WriteHeader explicitly.
+func (w *StatusWriter) StatusCode() int {
+	if w.Status == 0 {
+		return http.StatusOK
+	}
+	return w.Status
+}

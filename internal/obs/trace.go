@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a trace ID between
+// pawsgate and pawsd, and back to the client on every response.
+const TraceHeader = "X-Paws-Trace"
+
+// maxSpans bounds per-trace memory: a campaign sweep can emit
+// thousands of cell spans; beyond the cap we count drops instead.
+const maxSpans = 512
+
+// Span is one named stage inside a trace, with offsets relative to
+// the trace start.
+type Span struct {
+	Name       string  `json:"name"`
+	Item       string  `json:"item,omitempty"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// TraceRecord is a completed trace as exposed by /tracez.
+type TraceRecord struct {
+	TraceID      string    `json:"trace_id"`
+	Op           string    `json:"op"`
+	Status       string    `json:"status"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"duration_ms"`
+	Spans        []Span    `json:"spans,omitempty"`
+	SpansDropped int       `json:"spans_dropped,omitempty"`
+}
+
+// Recorder is a flight recorder: a fixed-size ring buffer of the
+// most recently completed traces.
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []TraceRecord
+	next     int
+	filled   bool
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// NewRecorder returns a recorder keeping the last n completed traces
+// (n <= 0 defaults to 64).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &Recorder{ring: make([]TraceRecord, n)}
+}
+
+// Trace is one in-flight request or job. Safe for concurrent span
+// recording from worker goroutines.
+type Trace struct {
+	rec   *Recorder
+	id    string
+	op    string
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+	done    bool
+}
+
+// MintID returns a fresh 16-hex-char trace ID.
+func MintID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back
+		// to a fixed marker rather than panicking in a serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Start begins a trace. An empty id mints a new one (the pawsd /
+// pawsgate middleware passes any inbound X-Paws-Trace value through,
+// so gate-minted IDs survive into replica traces).
+func (r *Recorder) Start(id, op string) *Trace {
+	if id == "" {
+		id = MintID()
+	}
+	r.started.Add(1)
+	return &Trace{rec: r, id: id, op: op, start: time.Now()}
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named stage and returns its closer. Nil-safe:
+// on a nil trace both the call and the closer are no-ops, so compute
+// code can span unconditionally.
+func (t *Trace) StartSpan(name, item string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.done {
+			return
+		}
+		if len(t.spans) >= maxSpans {
+			t.dropped++
+			return
+		}
+		t.spans = append(t.spans, Span{
+			Name:       name,
+			Item:       item,
+			StartMS:    float64(begin.Sub(t.start)) / float64(time.Millisecond),
+			DurationMS: float64(end.Sub(begin)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// Finish completes the trace and records it into the ring buffer.
+// Idempotent; spans closed after Finish are discarded.
+func (t *Trace) Finish(status string) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	spans := t.spans
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	// Workers may close spans out of order; sort for stable display.
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartMS < spans[j].StartMS })
+	rec := TraceRecord{
+		TraceID:      t.id,
+		Op:           t.op,
+		Status:       status,
+		Start:        t.start.UTC(),
+		DurationMS:   float64(end.Sub(t.start)) / float64(time.Millisecond),
+		Spans:        spans,
+		SpansDropped: dropped,
+	}
+	r := t.rec
+	r.finished.Add(1)
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.next == 0 {
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns completed traces, newest first.
+func (r *Recorder) Recent() []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.ring)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(r.next-1-i+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// TracezResponse is the GET /tracez body.
+type TracezResponse struct {
+	Capacity int           `json:"capacity"`
+	Started  int64         `json:"started"`
+	Finished int64         `json:"finished"`
+	Traces   []TraceRecord `json:"traces"`
+}
+
+// Handler serves the flight recorder as GET /tracez.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		resp := TracezResponse{
+			Capacity: len(r.ring),
+			Started:  r.started.Load(),
+			Finished: r.finished.Load(),
+			Traces:   r.Recent(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace to ctx so compute layers can record
+// spans without any API change beyond carrying ctx (the same way
+// WithProgress events flow).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a stage on the trace in ctx; the returned closer
+// is a no-op when no trace is attached. This is the one-liner used
+// at compute sites:
+//
+//	defer obs.StartSpan(ctx, "train", item)()
+func StartSpan(ctx context.Context, name, item string) func() {
+	return TraceFrom(ctx).StartSpan(name, item)
+}

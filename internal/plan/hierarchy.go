@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"paws/internal/geo"
+	"paws/internal/obs"
 	"paws/internal/par"
 )
 
@@ -310,7 +312,15 @@ func growFineRegion(park *geo.Park, post, maxCells int, co *coarsening, superEff
 // the standard Solve on the refined region. It returns the fine plan and its
 // region (for route extraction and reporting).
 func SolveHierarchical(park *geo.Park, post int, model CellModel, cfg Config, h HierOptions) (*Plan, *Region, error) {
-	plans, regions, err := SolveHierarchicalAll(park, []int{post}, model, cfg, h)
+	return SolveHierarchicalCtx(context.Background(), park, post, model, cfg, h)
+}
+
+// SolveHierarchicalCtx is SolveHierarchical with a context for
+// observability: when ctx carries a trace (internal/obs), the coarse
+// Frank-Wolfe pass and the fine refinement record one span per post.
+// The plan itself is byte-identical with or without a trace.
+func SolveHierarchicalCtx(ctx context.Context, park *geo.Park, post int, model CellModel, cfg Config, h HierOptions) (*Plan, *Region, error) {
+	plans, regions, err := SolveHierarchicalAllCtx(ctx, park, []int{post}, model, cfg, h)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -323,6 +333,12 @@ func SolveHierarchical(park *geo.Park, post int, model CellModel, cfg Config, h 
 // solver for the refined regions. Results are index-ordered by post and
 // byte-identical for any worker count.
 func SolveHierarchicalAll(park *geo.Park, posts []int, model CellModel, cfg Config, h HierOptions) ([]*Plan, []*Region, error) {
+	return SolveHierarchicalAllCtx(context.Background(), park, posts, model, cfg, h)
+}
+
+// SolveHierarchicalAllCtx is SolveHierarchicalAll with a context for
+// observability (see SolveHierarchicalCtx).
+func SolveHierarchicalAllCtx(ctx context.Context, park *geo.Park, posts []int, model CellModel, cfg Config, h HierOptions) ([]*Plan, []*Region, error) {
 	n := park.Grid.NumCells()
 	for _, p := range posts {
 		if p < 0 || p >= n {
@@ -344,8 +360,11 @@ func SolveHierarchicalAll(park *geo.Park, posts []int, model CellModel, cfg Conf
 	}
 	res, err := par.MapErr(h.Workers, len(posts), func(i int) (out, error) {
 		post := posts[i]
+		item := fmt.Sprintf("post %d", post)
 		creg := co.coarseRegion(park, post, h.MaxCoarseCells)
+		endCoarse := obs.StartSpan(ctx, "coarse", item)
 		cplan, err := Solve(creg, cm, ccfg)
+		endCoarse()
 		if err != nil {
 			return out{}, fmt.Errorf("plan: coarse solve for post %d: %w", post, err)
 		}
@@ -354,7 +373,9 @@ func SolveHierarchicalAll(park *geo.Park, posts []int, model CellModel, cfg Conf
 			superEffort[s] = cplan.Effort[li]
 		}
 		fine := growFineRegion(park, post, h.FineMaxCells, co, superEffort)
+		endRefine := obs.StartSpan(ctx, "refine", item)
 		fplan, err := Solve(fine, model, cfg)
+		endRefine()
 		if err != nil {
 			return out{}, fmt.Errorf("plan: fine solve for post %d: %w", post, err)
 		}

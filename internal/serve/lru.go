@@ -17,16 +17,20 @@ type lruCache struct {
 	// hits / misses count get outcomes over the cache's lifetime — the
 	// observable signal behind /statusz cache stats, which is how the fleet
 	// load harness measures whether pawsgate's affinity routing actually
-	// concentrates repeat riskmap keys on the same replica.
-	hits, misses int64
+	// concentrates repeat riskmap keys on the same replica. evictions
+	// counts entries displaced by the size bound: a high rate relative to
+	// misses means the working set of (model, effort) keys outgrows the
+	// configured cache.
+	hits, misses, evictions int64
 }
 
 // cacheStats is a point-in-time summary of the LRU, served by /statusz.
 type cacheStats struct {
-	Size   int   `json:"size"`
-	Max    int   `json:"max"`
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	Size      int   `json:"size"`
+	Max       int   `json:"max"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 type lruEntry struct {
@@ -74,6 +78,7 @@ func (c *lruCache) add(key string, val any) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 
@@ -88,5 +93,5 @@ func (c *lruCache) len() int {
 func (c *lruCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{Size: c.ll.Len(), Max: c.max, Hits: c.hits, Misses: c.misses}
+	return cacheStats{Size: c.ll.Len(), Max: c.max, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }

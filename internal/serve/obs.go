@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"paws/internal/job"
+	"paws/internal/obs"
+)
+
+// This file is the observability wiring of the server: per-endpoint HTTP
+// metrics, live gauges over the job manager and the riskmap LRU
+// (GET /metricsz), and the request/job trace flight recorder
+// (GET /tracez). Everything here is strictly observational — responses
+// are byte-identical with or without it (only the X-Paws-Trace header
+// and the trace_id field of error envelopes are added, neither of which
+// feeds back into compute).
+
+// serverMetrics bundles the pawsd instruments.
+type serverMetrics struct {
+	registry    *obs.Registry
+	httpReqs    obs.CounterVec   // endpoint, method, code
+	httpSeconds obs.HistogramVec // endpoint
+	jobsShed    obs.Counter
+	jobsSubmit  obs.CounterVec // kind
+}
+
+// newServerMetrics registers the instrument set over live server state:
+// counters update on the hot path, gauges read the job manager and the
+// LRU at scrape time so there is no second copy of either.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		registry: r,
+		httpReqs: r.CounterVec("paws_http_requests_total",
+			"HTTP requests by route pattern, method and status code.",
+			"endpoint", "method", "code"),
+		httpSeconds: r.HistogramVec("paws_http_request_seconds",
+			"HTTP request latency in seconds by route pattern.",
+			nil, "endpoint"),
+		jobsShed: r.Counter("paws_jobs_shed_total",
+			"Job submissions rejected by admission control (429)."),
+		jobsSubmit: r.CounterVec("paws_jobs_submitted_total",
+			"Jobs admitted to the queue by kind (includes one-shot synchronous simulate).",
+			"kind"),
+	}
+	r.CounterFunc("paws_riskmap_cache_hits_total",
+		"Riskmap LRU lookups served from cache.",
+		func() float64 { return float64(s.cache.stats().Hits) })
+	r.CounterFunc("paws_riskmap_cache_misses_total",
+		"Riskmap LRU lookups that had to compute the maps.",
+		func() float64 { return float64(s.cache.stats().Misses) })
+	r.CounterFunc("paws_riskmap_cache_evictions_total",
+		"Riskmap LRU entries evicted by the size bound.",
+		func() float64 { return float64(s.cache.stats().Evictions) })
+	r.GaugeFunc("paws_riskmap_cache_entries",
+		"Riskmap LRU current entry count.",
+		func() float64 { return float64(s.cache.stats().Size) })
+	r.GaugeFunc("paws_jobs_queued",
+		"Jobs waiting for a worker slot.",
+		func() float64 { return float64(s.jobs.Stats().Queued) })
+	r.GaugeFunc("paws_jobs_running",
+		"Jobs currently executing.",
+		func() float64 { return float64(s.jobs.Stats().Running) })
+	r.CounterFunc("paws_jobs_completed_total",
+		"Jobs that reached a terminal state.",
+		func() float64 { return float64(s.jobs.Stats().Completed) })
+	r.GaugeFunc("paws_job_mean_seconds",
+		"EWMA of job runtime in seconds (0 until the first job completes).",
+		func() float64 { return s.jobs.Stats().MeanJobSeconds })
+	return m
+}
+
+// MetricsHandler serves the replica's /metricsz (also mountable on the
+// debug listener, like StatuszHandler).
+func (s *Server) MetricsHandler() http.Handler { return s.metrics.registry.Handler() }
+
+// TracezHandler serves the replica's /tracez flight recorder.
+func (s *Server) TracezHandler() http.Handler { return s.tracer.Handler() }
+
+// endpointLabel maps a request to its registered route pattern
+// ("/v1/jobs/{id}", not the concrete path) so metric cardinality stays
+// bounded; unroutable requests collapse into "other".
+func (s *Server) endpointLabel(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return "other"
+	}
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		return path
+	}
+	return pattern
+}
+
+// opsEndpoints are polled by gates and scrapers; they get metrics and
+// the trace header like everything else but are not recorded into the
+// /tracez ring, which would otherwise hold nothing but health polls.
+var opsEndpoints = map[string]bool{
+	"/healthz":  true,
+	"/statusz":  true,
+	"/metricsz": true,
+	"/tracez":   true,
+}
+
+// ServeHTTP implements http.Handler: the observability middleware
+// around the route mux. Every response carries X-Paws-Trace (adopting
+// the inbound ID when pawsgate minted one); /v1 requests additionally
+// record a trace with any compute spans the handler emitted under the
+// request context.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	endpoint := s.endpointLabel(r)
+	sw := &obs.StatusWriter{ResponseWriter: w}
+	inbound := r.Header.Get(obs.TraceHeader)
+	var tr *obs.Trace
+	if opsEndpoints[endpoint] {
+		id := inbound
+		if id == "" {
+			id = obs.MintID()
+		}
+		sw.Header().Set(obs.TraceHeader, id)
+	} else {
+		tr = s.tracer.Start(inbound, r.Method+" "+endpoint)
+		sw.Header().Set(obs.TraceHeader, tr.ID())
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+	}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	code := sw.StatusCode()
+	s.metrics.httpReqs.With(endpoint, r.Method, strconv.Itoa(code)).Inc()
+	s.metrics.httpSeconds.With(endpoint).Observe(time.Since(start).Seconds())
+	tr.Finish(strconv.Itoa(code))
+}
+
+// traceJobFn wraps a job function so its run records a trace of its
+// own, reusing the submitting request's trace ID: the /tracez entry for
+// the HTTP submit and the one for the job's compute stages correlate by
+// ID across the queue boundary (jobs run on a fresh context, so the
+// request trace cannot flow there by ctx alone).
+func (s *Server) traceJobFn(r *http.Request, kind string, fn job.Fn) job.Fn {
+	id := obs.TraceFrom(r.Context()).ID()
+	return func(ctx context.Context, publish func(job.Event)) (any, error) {
+		tr := s.tracer.Start(id, "job:"+kind)
+		res, err := fn(obs.WithTrace(ctx, tr), publish)
+		tr.Finish(jobTraceStatus(err))
+		return res, err
+	}
+}
+
+func jobTraceStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}

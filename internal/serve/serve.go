@@ -65,6 +65,7 @@ import (
 
 	"paws"
 	"paws/internal/job"
+	"paws/internal/obs"
 	"paws/internal/sim"
 )
 
@@ -106,15 +107,20 @@ type Config struct {
 	// backlog estimate (which needs at least one completed job to be
 	// non-zero). 0 disables the bound.
 	AdmissionMaxQueue int
+	// TraceCapacity bounds the /tracez flight recorder: how many completed
+	// traces are retained, newest first (default 64).
+	TraceCapacity int
 }
 
 // Server is the HTTP layer over a paws.Service. It is an http.Handler.
 type Server struct {
-	svc   *paws.Service
-	cfg   Config
-	mux   *http.ServeMux
-	cache *lruCache
-	jobs  *job.Manager
+	svc     *paws.Service
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	jobs    *job.Manager
+	metrics *serverMetrics
+	tracer  *obs.Recorder
 }
 
 // New builds a Server over a Service whose models are already registered
@@ -138,7 +144,9 @@ func New(svc *paws.Service, cfg Config) *Server {
 			MaxRetained: cfg.JobMaxRetained,
 			IDPrefix:    cfg.ReplicaID,
 		}),
+		tracer: obs.NewRecorder(cfg.TraceCapacity),
 	}
+	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -153,11 +161,10 @@ func New(svc *paws.Service, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.Handle("GET /metricsz", s.metrics.registry.Handler())
+	s.mux.Handle("GET /tracez", s.tracer.Handler())
 	return s
 }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close drains the job layer: submissions stop, queued and running jobs
 // finish (or, once ctx expires, are canceled and awaited). Call it after
@@ -217,6 +224,10 @@ func (e *overloadedError) RetryAfterSeconds() int {
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// TraceID echoes the response's X-Paws-Trace header so a shed or
+	// timed-out request can be correlated with server-side traces even
+	// when only the body was logged.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorResponse is the uniform error body: {"error":{"code":…,"message":…}}.
@@ -266,7 +277,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	if errors.As(err, &ov) {
 		w.Header().Set("Retry-After", strconv.Itoa(ov.RetryAfterSeconds()))
 	}
-	writeJSON(w, status, errorResponse{Error: ErrorDetail{Code: code, Message: err.Error()}})
+	writeJSON(w, status, errorResponse{Error: ErrorDetail{
+		Code:    code,
+		Message: err.Error(),
+		TraceID: w.Header().Get(obs.TraceHeader),
+	}})
 }
 
 // decodeBody strictly decodes a JSON request body into v.
@@ -506,7 +521,9 @@ func (s *Server) computeRiskMap(ctx context.Context, req RiskMapRequest) (RiskMa
 	// Compute from the instance the key was derived from — re-resolving
 	// the name here could race with a concurrent re-registration and file
 	// one generation's maps under another's key.
+	endSpan := obs.StartSpan(ctx, "riskmap", req.Model)
 	risk, unc, err := sm.PlannerModel().MapsCtx(ctx, req.Effort)
+	endSpan()
 	if err != nil {
 		return RiskMapResponse{}, err
 	}
@@ -670,7 +687,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// One-shot job: same compute path and concurrency bound as the async
 	// kind, result discarded after the response is written.
-	resp, err := s.jobs.Run(ctx, "simulate", fn)
+	s.metrics.jobsSubmit.With("simulate").Inc()
+	resp, err := s.jobs.Run(ctx, "simulate", s.traceJobFn(r, "simulate", fn))
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -105,8 +105,16 @@ func (s *Server) admissionCheck(st job.Stats) error {
 	return nil
 }
 
-// admitJob snapshots the job stats and applies the admission gate.
-func (s *Server) admitJob() error { return s.admissionCheck(s.jobs.Stats()) }
+// admitJob snapshots the job stats and applies the admission gate; a
+// rejection counts toward paws_jobs_shed_total (admissionCheck itself
+// stays side-effect free — /statusz probes it for the Overloaded flag).
+func (s *Server) admitJob() error {
+	err := s.admissionCheck(s.jobs.Stats())
+	if err != nil {
+		s.metrics.jobsShed.Inc()
+	}
+	return err
+}
 
 // replicaLabel renders a replica ID for error messages.
 func replicaLabel(id string) string {

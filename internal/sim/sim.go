@@ -43,6 +43,7 @@ import (
 	"math"
 
 	"paws/internal/geo"
+	"paws/internal/obs"
 	"paws/internal/par"
 	"paws/internal/poach"
 	"paws/internal/rng"
@@ -261,7 +262,7 @@ func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		obs := &Obs{
+		o := &Obs{
 			Park:         park,
 			Months:       h.Months,
 			Effort:       h.Effort,
@@ -269,8 +270,11 @@ func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (
 			Observations: h.Observations,
 			BudgetKM:     cfg.BudgetKM,
 		}
+		item := fmt.Sprintf("%s season %d", p.Name(), s)
 		stream := root.Split(fmt.Sprintf("policy:%s:season:%d", p.Name(), s))
-		plan, err := p.PlanSeason(ctx, obs, s, stream)
+		endPlan := obs.StartSpan(ctx, "plan", item)
+		plan, err := p.PlanSeason(ctx, o, s, stream)
+		endPlan()
 		if err != nil {
 			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
 		}
@@ -279,6 +283,7 @@ func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (
 			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
 		}
 		st := SeasonStats{Season: s, StartMonth: h.Months, Routes: len(plan.Routes)}
+		endPatrol := obs.StartSpan(ctx, "patrol", item)
 		for k := 0; k < cfg.SeasonMonths; k++ {
 			m := h.Months
 			att.BeginMonth(m, prevEffort(h, m))
@@ -314,6 +319,7 @@ func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (
 				st.EffortKM += e
 			}
 		}
+		endPatrol()
 		res.Seasons = append(res.Seasons, st)
 		res.Snares += st.Snares
 		res.Detections += st.Detections

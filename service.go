@@ -11,6 +11,7 @@ import (
 	"paws/internal/dataset"
 	"paws/internal/geo"
 	"paws/internal/ml"
+	"paws/internal/obs"
 	"paws/internal/par"
 	"paws/internal/plan"
 	"paws/internal/store"
@@ -477,14 +478,16 @@ func (s *Service) Plan(ctx context.Context, name string, post int, beta float64,
 	var region *plan.Region
 	var p *plan.Plan
 	if useHier {
-		p, region, err = plan.SolveHierarchical(sm.park, sm.park.Posts[post], sm.pm,
+		p, region, err = plan.SolveHierarchicalCtx(ctx, sm.park, sm.park.Posts[post], sm.pm,
 			cfg, plan.HierOptions{FineMaxCells: maxCells, Workers: st.workers})
 	} else {
 		region, err = plan.NewRegion(sm.park, sm.park.Posts[post], radius, maxCells)
 		if err != nil {
 			return nil, err
 		}
+		endSolve := obs.StartSpan(ctx, "solve", fmt.Sprintf("post %d", post))
 		p, err = plan.Solve(region, sm.pm, cfg)
+		endSolve()
 	}
 	if err != nil {
 		return nil, err
@@ -496,7 +499,9 @@ func (s *Service) Plan(ctx context.Context, name string, post int, beta float64,
 	if kRoutes < 1 {
 		kRoutes = 1
 	}
+	endRoutes := obs.StartSpan(ctx, "routes", fmt.Sprintf("post %d", post))
 	routes, err := plan.ExtractRoutes(region, p.Effort, cfg.T, kRoutes)
+	endRoutes()
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"paws/internal/dataset"
 	"paws/internal/geo"
+	"paws/internal/obs"
 	"paws/internal/par"
 	"paws/internal/plan"
 	"paws/internal/poach"
@@ -237,36 +238,44 @@ func (p *pawsPolicy) trainOptions(seed int64) TrainOptions {
 	return tr
 }
 
-func (p *pawsPolicy) PlanSeason(ctx context.Context, obs *sim.Obs, season int, r *rng.RNG) (*sim.SeasonPlan, error) {
+func (p *pawsPolicy) PlanSeason(ctx context.Context, o *sim.Obs, season int, r *rng.RNG) (*sim.SeasonPlan, error) {
+	item := fmt.Sprintf("season %d", season)
 	// The observed record is exactly a waypoint-free history; train on the
 	// effort maps directly.
 	h := &poach.History{
-		Park:         obs.Park,
-		Months:       obs.Months,
-		Effort:       obs.Effort,
-		Observations: obs.Observations,
+		Park:         o.Park,
+		Months:       o.Months,
+		Effort:       o.Effort,
+		Observations: o.Observations,
 	}
+	endBuild := obs.StartSpan(ctx, "build", item)
 	d, err := dataset.BuildFromEffort(h, dataset.StandardConfig())
+	endBuild()
 	if err != nil {
 		return nil, err
 	}
+	endTrain := obs.StartSpan(ctx, "train", item)
 	m, err := TrainCtx(ctx, d.AllPoints(), p.trainOptions(r.Int63()))
 	if err != nil {
+		endTrain()
 		return nil, err
 	}
 	pm, err := NewPlannerModelCtx(ctx, m, d, len(d.Steps)-1, p.st.workers)
+	endTrain()
 	if err != nil {
 		return nil, err
 	}
 	// Park-wide risk map at the nominal per-cell effort the sectors will
 	// actually receive, then target the hottest cells: enough of them that
 	// each gets ~simTargetKMPerCell of the budget, weighted by risk.
-	n := obs.Park.Grid.NumCells()
+	n := o.Park.Grid.NumCells()
+	endRisk := obs.StartSpan(ctx, "riskmap", item)
 	risk, err := pm.RiskMapCtx(ctx, simTargetKMPerCell)
+	endRisk()
 	if err != nil {
 		return nil, err
 	}
-	targets := int(obs.BudgetKM / simTargetKMPerCell)
+	targets := int(o.BudgetKM / simTargetKMPerCell)
 	if targets < 1 {
 		targets = 1
 	}
@@ -289,7 +298,9 @@ func (p *pawsPolicy) PlanSeason(ctx context.Context, obs *sim.Obs, season int, r
 	for _, cell := range order[:targets] {
 		eff[cell] = risk[cell]
 	}
-	routes, err := p.extractRoutes(ctx, obs, pm)
+	endRoutes := obs.StartSpan(ctx, "routes", item)
+	routes, err := p.extractRoutes(ctx, o, pm)
+	endRoutes()
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +310,7 @@ func (p *pawsPolicy) PlanSeason(ctx context.Context, obs *sim.Obs, season int, r
 // extractRoutes turns the plan into the deployable artifact: per patrol
 // post, a Frank-Wolfe solve over the post's neighbourhood followed by route
 // extraction — the patrols rangers would actually walk.
-func (p *pawsPolicy) extractRoutes(ctx context.Context, obs *sim.Obs, pm *PlannerModel) ([][]int, error) {
+func (p *pawsPolicy) extractRoutes(ctx context.Context, o *sim.Obs, pm *PlannerModel) ([][]int, error) {
 	radius, maxCells := p.st.radius, p.st.maxCells
 	if radius <= 0 {
 		radius = simPlanRadius
@@ -324,8 +335,8 @@ func (p *pawsPolicy) extractRoutes(ctx context.Context, obs *sim.Obs, pm *Planne
 	}
 	// Per-post solves are independent; fan them out. Aggregation below runs
 	// in post order, so the output is identical for any worker count.
-	plans, err := par.MapErrCtx(ctx, p.st.workers, len(obs.Park.Posts), func(i int) (postRoutes, error) {
-		region, err := plan.NewRegion(obs.Park, obs.Park.Posts[i], radius, maxCells)
+	plans, err := par.MapErrCtx(ctx, p.st.workers, len(o.Park.Posts), func(i int) (postRoutes, error) {
+		region, err := plan.NewRegion(o.Park, o.Park.Posts[i], radius, maxCells)
 		if err != nil {
 			return postRoutes{}, err
 		}
