@@ -189,3 +189,63 @@ func TestCampaignProgressEvents(t *testing.T) {
 		t.Fatalf("events %v", events)
 	}
 }
+
+// TestCampaignLearnedPolicies: the learned sequential policies run through
+// the campaign grid like any other name, and their paired deltas obey the
+// same CRN contract as paws — each per-seed delta equals the difference of
+// two single-policy Simulate runs at that seed. This is the acceptance grid
+// of the environment subsystem's policy adapters: thompson and softmax plan
+// from the live observation record inside the closed loop, yet stay exactly
+// reproducible under the campaign's common-random-numbers pairing.
+func TestCampaignLearnedPolicies(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithScale(ScaleSmall), WithWorkers(0))
+	cfg := CampaignConfig{
+		Parks:        []string{"rand:16"},
+		Policies:     []string{"paws", "uniform", "thompson", "softmax"},
+		Seeds:        []int64{1, 2},
+		SeasonCounts: []int{1},
+	}
+	rep, err := svc.Campaign(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || len(rep.Summaries) != 1 {
+		t.Fatalf("grid shape: %d cells, %d summaries", len(rep.Cells), len(rep.Summaries))
+	}
+	park := rep.Summaries[0]
+	// One paired delta per non-baseline policy: paws, thompson, softmax.
+	if len(park.Deltas) != 3 {
+		t.Fatalf("deltas: %+v, want paws/thompson/softmax vs uniform", park.Deltas)
+	}
+	for _, learned := range []string{"thompson", "softmax"} {
+		var delta *campaign.Delta
+		for i := range park.Deltas {
+			if park.Deltas[i].Policy == learned {
+				delta = &park.Deltas[i]
+			}
+		}
+		if delta == nil || delta.Baseline != "uniform" {
+			t.Fatalf("missing %s-vs-uniform delta: %+v", learned, park.Deltas)
+		}
+		t.Logf("%s−uniform: mean %+.2f, 95%% CI [%+.2f, %+.2f], wins %d/%d",
+			learned, delta.Mean, delta.CILow, delta.CIHigh, delta.Wins, len(delta.PerCell))
+		for i, seed := range cfg.Seeds {
+			var single [2]int
+			for j, policy := range []string{learned, "uniform"} {
+				r, err := svc.Simulate(ctx, SimConfig{
+					Park:     "rand:16",
+					Seasons:  cfg.SeasonCounts[0],
+					Policies: []string{policy},
+				}, WithSeed(seed))
+				if err != nil {
+					t.Fatalf("single %s seed %d: %v", policy, seed, err)
+				}
+				single[j] = r.Policies[0].Detections
+			}
+			if got, want := delta.PerCell[i], float64(single[0]-single[1]); got != want {
+				t.Errorf("%s seed %d: campaign paired delta %v, single-run difference %v", learned, seed, got, want)
+			}
+		}
+	}
+}

@@ -20,6 +20,13 @@
 //	curl -sN localhost:8080/v1/jobs/j-000001/events   # NDJSON stream
 //	curl -s localhost:8080/v1/jobs/j-000001/result
 //
+// Stepped environment sessions (/v1/envs) expose the closed-loop
+// simulation season by season: create a session with a park spec and seed,
+// POST per-cell effort allocations to …/step, and read back each season's
+// outcome — the remote half of internal/env. -env-ttl and
+// -env-max-sessions bound retention; creates beyond the bound shed with
+// 429 + Retry-After.
+//
 // # Fleet mode
 //
 // N replicas share one on-disk model store (-store DIR, typically on a
@@ -85,6 +92,10 @@ type options struct {
 	jobRetain                                      int
 	drain                                          time.Duration
 
+	// Env sessions.
+	envTTL         time.Duration
+	envMaxSessions int
+
 	// Fleet mode.
 	storeDir          string
 	storePoll         time.Duration
@@ -112,6 +123,8 @@ func main() {
 	flag.DurationVar(&o.jobTTL, "job-ttl", 15*time.Minute, "how long finished job results are retained")
 	flag.IntVar(&o.jobRetain, "job-retain", 64, "max finished jobs retained (oldest evicted first)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+	flag.DurationVar(&o.envTTL, "env-ttl", 15*time.Minute, "how long idle env sessions are retained (negative disables)")
+	flag.IntVar(&o.envMaxSessions, "env-max-sessions", 64, "max retained env sessions (creates beyond it are shed with 429)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /statusz on this address (e.g. localhost:6060); empty disables")
 	flag.StringVar(&o.storeDir, "store", "", "shared fleet model store directory; with neither -model nor -train, serve purely from the store")
 	flag.DurationVar(&o.storePoll, "store-poll", time.Second, "how often to poll the store index for new publications")
@@ -204,6 +217,8 @@ func run(o options) error {
 		ReplicaID:         o.replica,
 		AdmissionBudget:   o.admissionBudget,
 		AdmissionMaxQueue: o.admissionMaxQueue,
+		EnvTTL:            o.envTTL,
+		EnvMaxSessions:    o.envMaxSessions,
 	})
 	// /statusz, /metricsz and /tracez ride the -pprof debug listener too,
 	// so operators can check a replica's load, scrape its metrics and read

@@ -1,5 +1,5 @@
 // Command pawsload drives a deterministic mixed workload (predict /
-// riskmap / plan / async jobs) against a pawsd replica or a pawsgate
+// riskmap / plan / async jobs / env episodes) against a pawsd replica or a pawsgate
 // front-end and records per-endpoint latency percentiles plus the
 // riskmap cache hit rate into a labeled BENCH_load.json:
 //
@@ -37,7 +37,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "max in-flight requests")
 	seed := flag.Int64("seed", 1, "op-sequence seed (same seed = same workload)")
 	model := flag.String("model", "", "model to drive (default: first from /v1/models)")
-	mix := flag.String("mix", "predict=5,riskmap=5,plan=1,job=1", "op mix as endpoint=weight pairs")
+	mix := flag.String("mix", "predict=5,riskmap=5,plan=1,job=1,env=1", "op mix as endpoint=weight pairs")
 	efforts := flag.String("efforts", "1,1.5,2,2.5", "discrete effort set for riskmap/predict draws")
 	out := flag.String("out", "BENCH_load.json", "bench file to merge this run into (\"-\" = stdout only)")
 	flag.Parse()
@@ -98,7 +98,7 @@ func report(res load.Result) {
 }
 
 func parseMix(s string) (map[string]int, error) {
-	known := map[string]bool{"predict": true, "riskmap": true, "plan": true, "job": true}
+	known := map[string]bool{"predict": true, "riskmap": true, "plan": true, "job": true, "env": true}
 	weights := map[string]int{}
 	for _, pair := range strings.Split(s, ",") {
 		pair = strings.TrimSpace(pair)
@@ -107,7 +107,7 @@ func parseMix(s string) (map[string]int, error) {
 		}
 		name, val, ok := strings.Cut(pair, "=")
 		if !ok || !known[name] {
-			return nil, fmt.Errorf("bad -mix entry %q (want predict/riskmap/plan/job=weight)", pair)
+			return nil, fmt.Errorf("bad -mix entry %q (want predict/riskmap/plan/job/env=weight)", pair)
 		}
 		w, err := strconv.Atoi(val)
 		if err != nil || w < 0 {

@@ -6,9 +6,12 @@
 //	pawssim -seed 7 -seasons 3 -policies paws,uniform
 //	pawssim -park rand:42 -seasons 4                  # procedural park
 //	pawssim -park MFNP,QENP -attacker static          # sweep parks
+//	pawssim -remote http://localhost:8080 …           # step via /v1/envs
 //
 // The report is deterministic: the same flags produce byte-identical output
-// for any -workers value.
+// for any -workers value. With -remote, every policy still plans locally
+// but executes its seasons against env sessions on a pawsd replica (or
+// pawsgate fleet) — and the report stays byte-identical to the local run.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"paws"
 	"paws/internal/geo"
 	"paws/internal/prof"
+	"paws/internal/sim"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 	budget := flag.Float64("budget", 0, "patrol budget in km/month (0 = the park's ranger capacity)")
 	kindStr := flag.String("kind", "DTB-iW", "model kind the paws policy retrains each season")
 	workers := flag.Int("workers", 0, "worker goroutines (1 = sequential, 0 = one per CPU)")
+	remote := flag.String("remote", "", "base URL of a pawsd replica or pawsgate; seasons execute via /v1/envs sessions there")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -76,7 +81,12 @@ func main() {
 	cfg.Attacker.Kind = *attacker
 	for _, park := range splitList(*parks) {
 		cfg.Park = park
-		rep, err := svc.Simulate(ctx, cfg)
+		var rep *sim.Report
+		if *remote != "" {
+			rep, err = svc.SimulateRemote(ctx, *remote, nil, cfg)
+		} else {
+			rep, err = svc.Simulate(ctx, cfg)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,202 @@
+package paws
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"paws/internal/env"
+	"paws/internal/geo"
+	"paws/internal/par"
+	"paws/internal/poach"
+	"paws/internal/sim"
+)
+
+// This file is the service-level surface of the stepped environment
+// (internal/env): NewEnv resolves a park spec into a live local Env — the
+// constructor behind pawsd's POST /v1/envs — and SimulateRemote replays the
+// whole Simulate comparison against remote /v1/envs sessions, producing a
+// report byte-identical to the local one.
+
+// EnvConfig configures Service.NewEnv: one episode of the closed loop as a
+// stepped environment. Zero values select the same defaults as SimConfig,
+// so an Env episode and a Simulate policy run at the same park and seed are
+// the same computation.
+type EnvConfig struct {
+	// Park is a park spec: MFNP, QENP, SWS or rand:<seed>.
+	Park string
+	// Seasons is the episode length in seasons (default 4).
+	Seasons int
+	// SeasonMonths is the months per season (default 3).
+	SeasonMonths int
+	// BootstrapMonths is the historical record simulated before the episode
+	// (default 24).
+	BootstrapMonths int
+	// BudgetKM is the per-month patrol budget; 0 derives the park's ranger
+	// capacity.
+	BudgetKM float64
+	// Attacker selects the poacher response behaviour (default adaptive,
+	// matching Simulate).
+	Attacker poach.AttackerConfig
+}
+
+// withDefaults validates and fills cfg, mirroring SimConfig.withDefaults so
+// the two surfaces accept and reject identically.
+func (cfg EnvConfig) withDefaults() (EnvConfig, error) {
+	if cfg.Park == "" {
+		cfg.Park = "MFNP"
+	}
+	if cfg.Seasons < 0 {
+		return cfg, fmt.Errorf("paws: seasons must be ≥ 1, got %d", cfg.Seasons)
+	}
+	if cfg.Seasons == 0 {
+		cfg.Seasons = 4
+	}
+	if err := validateSimRanges(cfg.SeasonMonths, cfg.BootstrapMonths, cfg.BudgetKM, 0); err != nil {
+		return cfg, err
+	}
+	if cfg.Attacker.Kind == "" {
+		cfg.Attacker.Kind = poach.AttackerAdaptive
+	}
+	if err := poach.ValidateAttackerKind(cfg.Attacker.Kind); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Validate checks an environment configuration without building anything —
+// the submit-time validation surface of the /v1/envs create endpoint.
+// (Park specs are validated separately via ValidateParkSpec, which the HTTP
+// layer already calls.)
+func (cfg EnvConfig) Validate() error {
+	_, err := cfg.withDefaults()
+	return err
+}
+
+// NewEnv resolves the park spec (at the service's scale and seed, exactly
+// as Simulate does) and builds a live stepped environment: the bootstrap
+// history is simulated and the episode is reset, ready for the first Step.
+func (s *Service) NewEnv(cfg EnvConfig, opts ...Option) (*env.Env, error) {
+	st := s.settingsFor(opts)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	parkCfg, simCfg, err := resolveConfigs(cfg.Park, st.scale, st.seed)
+	if err != nil {
+		return nil, err
+	}
+	// Same seed convention as Simulate: the caller's root seed drives the
+	// loop, so an Env episode replays a Simulate policy log exactly.
+	simCfg.Seed = st.seed
+	park, err := geo.GeneratePark(parkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("paws: generate park: %w", err)
+	}
+	return env.New(env.Config{
+		Park:            park,
+		Sim:             simCfg,
+		Attacker:        cfg.Attacker,
+		Seasons:         cfg.Seasons,
+		SeasonMonths:    cfg.SeasonMonths,
+		BootstrapMonths: cfg.BootstrapMonths,
+		BudgetKM:        cfg.BudgetKM,
+	})
+}
+
+// httpEnvCloseTimeout bounds the best-effort session delete SimulateRemote
+// issues after each policy finishes (or fails), so cleanup cannot hang a
+// canceled run.
+const httpEnvCloseTimeout = 5 * time.Second
+
+// SimulateRemote is Simulate with the season loop running remotely: every
+// policy plans locally (including the full paws retrain-and-plan pipeline)
+// but executes its seasons against a /v1/envs session on baseURL — pawsd
+// directly or pawsgate in front of a fleet. The park is resolved locally
+// from the same spec, scale and seed the server uses, so the report is
+// byte-identical to the local Simulate for the same configuration and any
+// worker count. hc nil selects http.DefaultClient.
+func (s *Service) SimulateRemote(ctx context.Context, baseURL string, hc *http.Client, cfg SimConfig, opts ...Option) (*sim.Report, error) {
+	st := s.settingsFor(opts)
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	parkCfg, simCfg, err := resolveConfigs(cfg.Park, st.scale, st.seed)
+	if err != nil {
+		return nil, err
+	}
+	simCfg.Seed = st.seed
+	park, err := geo.GeneratePark(parkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("paws: generate park: %w", err)
+	}
+	policies := make([]sim.Policy, len(cfg.Policies))
+	for i, name := range cfg.Policies {
+		if name == "paws" {
+			policies[i] = &pawsPolicy{st: st, beta: cfg.Beta}
+			continue
+		}
+		p, err := sim.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("paws: %w (plus \"paws\")", err)
+		}
+		policies[i] = p
+	}
+	// The report's header fields come from the env view of the config —
+	// the same derivation the server applies per session.
+	ecfg, err := (env.Config{
+		Park:            park,
+		Sim:             simCfg,
+		Attacker:        cfg.Attacker,
+		Seasons:         cfg.Seasons,
+		SeasonMonths:    cfg.SeasonMonths,
+		BootstrapMonths: cfg.BootstrapMonths,
+		BudgetKM:        cfg.BudgetKM,
+	}).WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var progress func(policy string, season, seasons int)
+	if pf := st.progress; pf != nil {
+		progress = func(policy string, season, seasons int) {
+			pf(ProgressEvent{Stage: "season", Item: policy, Current: season, Total: seasons})
+		}
+	}
+	req := env.CreateRequest{
+		Park:            cfg.Park,
+		Seed:            st.seed,
+		Seasons:         cfg.Seasons,
+		SeasonMonths:    cfg.SeasonMonths,
+		BootstrapMonths: cfg.BootstrapMonths,
+		BudgetKM:        cfg.BudgetKM,
+		Attacker:        cfg.Attacker.Kind,
+	}
+	results, err := par.MapErrCtx(ctx, st.workers, len(policies), func(i int) (sim.PolicyResult, error) {
+		c := env.NewClient(baseURL, hc, park, req)
+		defer func() {
+			// Best-effort cleanup even when ctx is already done.
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), httpEnvCloseTimeout)
+			defer cancel()
+			_ = c.Close(cctx)
+		}()
+		return env.Drive(ctx, c, policies[i], env.DriveConfig{
+			Seed:     ecfg.Sim.Seed,
+			Seasons:  ecfg.Seasons,
+			Progress: progress,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Report{
+		Park:         ecfg.Park.Name,
+		Seed:         ecfg.Sim.Seed,
+		Attacker:     ecfg.Attacker.Kind,
+		Seasons:      ecfg.Seasons,
+		SeasonMonths: ecfg.SeasonMonths,
+		BudgetKM:     ecfg.BudgetKM,
+		Policies:     results,
+	}, nil
+}

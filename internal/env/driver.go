@@ -1,0 +1,82 @@
+package env
+
+import (
+	"context"
+	"fmt"
+
+	"paws/internal/obs"
+	"paws/internal/rng"
+)
+
+// Stepper is what a policy driver needs from an environment: the local Env
+// and the remote HTTP Client both implement it, so the same Drive call
+// plays a policy against an in-process episode or a /v1/envs session — and
+// produces byte-identical results for the same park, seed and budget.
+type Stepper interface {
+	// Reset starts a fresh episode and returns its initial observation.
+	Reset(ctx context.Context) (*Obs, error)
+	// Step executes one season of the given per-cell effort allocation.
+	Step(ctx context.Context, effort []float64) (*Obs, SeasonStats, bool, error)
+}
+
+// DriveConfig tunes one Drive call.
+type DriveConfig struct {
+	// Seed roots the policy's deterministic random streams (one split per
+	// season, labeled by policy name — the same convention sim.Run uses, so
+	// a driven policy reproduces its sim.Run season log exactly).
+	Seed int64
+	// Seasons bounds the episode; Drive also stops early when the Stepper
+	// reports done.
+	Seasons int
+	// Progress, when non-nil, is invoked after each completed season with
+	// (policy name, seasons finished, total seasons). It is observational
+	// only and never affects the result.
+	Progress func(policy string, season, seasons int)
+}
+
+// Drive plays one policy through one episode: Reset, then for each season
+// plan (under a per-season split of the seed's policy stream) and Step. The
+// season's Routes count is overlaid from the plan — routes are a reporting
+// artifact of the policy, not an environment outcome. The per-season "plan"
+// and "patrol" compute spans match the ones sim.Run always recorded, so
+// /tracez keeps its shape.
+func Drive(ctx context.Context, st Stepper, p Policy, cfg DriveConfig) (PolicyResult, error) {
+	o, err := st.Reset(ctx)
+	if err != nil {
+		return PolicyResult{}, err
+	}
+	res := PolicyResult{Policy: p.Name()}
+	root := rng.New(cfg.Seed)
+	for s := 0; s < cfg.Seasons; s++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		item := fmt.Sprintf("%s season %d", p.Name(), s)
+		stream := root.Split(fmt.Sprintf("policy:%s:season:%d", p.Name(), s))
+		endPlan := obs.StartSpan(ctx, "plan", item)
+		plan, err := p.PlanSeason(ctx, o, s, stream)
+		endPlan()
+		if err != nil {
+			return res, fmt.Errorf("env: policy %s season %d: %w", p.Name(), s, err)
+		}
+		endPatrol := obs.StartSpan(ctx, "patrol", item)
+		next, stats, done, err := st.Step(ctx, plan.Effort)
+		endPatrol()
+		if err != nil {
+			return res, fmt.Errorf("env: policy %s season %d: %w", p.Name(), s, err)
+		}
+		stats.Routes = len(plan.Routes)
+		res.Seasons = append(res.Seasons, stats)
+		res.Snares += stats.Snares
+		res.Detections += stats.Detections
+		res.Displaced += stats.Displaced
+		o = next
+		if cfg.Progress != nil {
+			cfg.Progress(p.Name(), s+1, cfg.Seasons)
+		}
+		if done {
+			break
+		}
+	}
+	return res, nil
+}

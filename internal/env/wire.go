@@ -1,0 +1,128 @@
+package env
+
+import (
+	"sort"
+
+	"paws/internal/poach"
+)
+
+// This file is the wire schema of the remote environment surface
+// (internal/serve's /v1/envs): the request/response DTOs shared by the
+// server handlers and the HTTP Client, so the two cannot drift. Floats
+// round-trip bit-exactly through JSON (encoding/json emits the shortest
+// representation that parses back to the same float64), which is what makes
+// a remote episode byte-identical to a local one.
+
+// CreateRequest opens an environment session: one episode of the closed
+// loop, stepped season by season over HTTP.
+type CreateRequest struct {
+	// Park is a park spec: MFNP, QENP, SWS or rand:<seed>. The server
+	// resolves it at its default scale, so a client reconstructing the park
+	// locally (see Client) must use the same spec, seed and scale.
+	Park string `json:"park"`
+	// Seed roots every deterministic stream of the episode (0 keeps the
+	// server's default root seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Seasons is the episode length in seasons (default 4).
+	Seasons int `json:"seasons,omitempty"`
+	// SeasonMonths is the months per season (default 3).
+	SeasonMonths int `json:"season_months,omitempty"`
+	// BootstrapMonths is the historical record simulated before the episode
+	// (default 24).
+	BootstrapMonths int `json:"bootstrap_months,omitempty"`
+	// BudgetKM overrides the per-month patrol budget (0 derives the park's
+	// ranger capacity).
+	BudgetKM float64 `json:"budget_km,omitempty"`
+	// Attacker is "static" or "adaptive" (default adaptive — the same
+	// default as /v1/simulate).
+	Attacker string `json:"attacker,omitempty"`
+	// TimeoutMS bounds the create request (bootstrap simulation) only.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// WireObservation is poach.Observation with explicit JSON tags.
+type WireObservation struct {
+	Month    int  `json:"month"`
+	CellID   int  `json:"cell_id"`
+	Poaching bool `json:"poaching"`
+}
+
+// WireObs is the observed record on the wire. In a CreateResponse it is the
+// full bootstrap record; in a StepResponse it carries only the months the
+// step appended (the client accretes them onto its local record).
+type WireObs struct {
+	// Months is the total observed months after this message.
+	Months int `json:"months"`
+	// Effort and Detections carry per-month rows — all months on create,
+	// the newly appended months on step.
+	Effort     [][]float64 `json:"effort"`
+	Detections [][]bool    `json:"detections"`
+	// Observations is the SMART-style log — full on create, the newly
+	// appended entries on step.
+	Observations []WireObservation `json:"observations"`
+	// BudgetKM is the per-month budget step allocations are scaled to.
+	BudgetKM float64 `json:"budget_km"`
+}
+
+// CreateResponse is the new session plus its initial observation.
+type CreateResponse struct {
+	Session Snapshot `json:"session"`
+	Obs     WireObs  `json:"obs"`
+}
+
+// StepRequest executes one season of the given per-cell effort allocation.
+type StepRequest struct {
+	Effort    []float64 `json:"effort"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+}
+
+// StepResponse is one season's outcome: the updated session, the season
+// statistics, whether the episode is done, and the record delta.
+type StepResponse struct {
+	Session Snapshot    `json:"session"`
+	Stats   SeasonStats `json:"stats"`
+	Done    bool        `json:"done"`
+	// Delta carries only the months this step appended.
+	Delta WireObs `json:"delta"`
+}
+
+// DeleteResponse acknowledges an explicit session delete.
+type DeleteResponse struct {
+	Session Snapshot `json:"session"`
+}
+
+// wireObservations converts a poach observation log slice.
+func wireObservations(obs []poach.Observation) []WireObservation {
+	out := make([]WireObservation, len(obs))
+	for i, o := range obs {
+		out[i] = WireObservation{Month: o.Month, CellID: o.CellID, Poaching: o.Poaching}
+	}
+	return out
+}
+
+// FullWire renders a complete observation as its wire form (create path).
+func FullWire(o *Obs) WireObs {
+	return WireObs{
+		Months:       o.Months,
+		Effort:       o.Effort,
+		Detections:   o.Detections,
+		Observations: wireObservations(o.Observations),
+		BudgetKM:     o.BudgetKM,
+	}
+}
+
+// DeltaWire renders the months of o appended at or after fromMonth (a
+// step's StartMonth) as the wire delta. The observation log is appended in
+// month order, so the cut point is found by binary search.
+func DeltaWire(o *Obs, fromMonth int) WireObs {
+	cut := sort.Search(len(o.Observations), func(i int) bool {
+		return o.Observations[i].Month >= fromMonth
+	})
+	return WireObs{
+		Months:       o.Months,
+		Effort:       o.Effort[fromMonth:],
+		Detections:   o.Detections[fromMonth:],
+		Observations: wireObservations(o.Observations[cut:]),
+		BudgetKM:     o.BudgetKM,
+	}
+}

@@ -87,9 +87,16 @@ type backend struct {
 	meanJob         float64
 	completed       int64
 
+	// envActive mirrors the replica's /statusz envs.active — live env
+	// sessions, the least-loaded signal for session creates.
+	envActive int
+
 	// submits counts job submissions routed here since the last poll —
 	// the between-polls correction for least-loaded routing.
 	submits atomic.Int64
+	// envCreates counts env session creates routed here since the last
+	// poll — the same between-polls correction for session routing.
+	envCreates atomic.Int64
 	// proxied counts requests proxied here over the gate's lifetime.
 	proxied atomic.Int64
 }
@@ -203,6 +210,9 @@ type statuszProbe struct {
 		Completed      int64   `json:"completed"`
 		MeanJobSeconds float64 `json:"mean_job_seconds"`
 	} `json:"jobs"`
+	Envs struct {
+		Active int `json:"active"`
+	} `json:"envs"`
 }
 
 // pollBackend refreshes one backend's health and load.
@@ -239,10 +249,12 @@ func (g *Gate) pollBackend(b *backend) {
 	b.running = probe.Jobs.Running
 	b.completed = probe.Jobs.Completed
 	b.meanJob = probe.Jobs.MeanJobSeconds
+	b.envActive = probe.Envs.Active
 	b.mu.Unlock()
-	// The poll re-based queued+running, so the between-polls correction
-	// restarts from zero.
+	// The poll re-based queued+running and envs.active, so the
+	// between-polls corrections restart from zero.
 	b.submits.Store(0)
+	b.envCreates.Store(0)
 }
 
 // healthy returns the healthy backends, in configuration order.
@@ -321,14 +333,38 @@ func (g *Gate) pickLeastLoaded(healthy []*backend) *backend {
 	return best
 }
 
-// jobIDPattern extracts the replica name a prefixed job ID carries.
-var jobIDPattern = regexp.MustCompile(`^j-(.+)-[0-9]{6}$`)
+// pickLeastEnvLoaded takes the backend with the fewest live env sessions
+// (statusz envs.active, plus the creates the gate routed there since the
+// last poll). Ties keep configuration order — env steps are uniform enough
+// that no cost tiebreak is needed.
+func (g *Gate) pickLeastEnvLoaded(healthy []*backend) *backend {
+	scoreOf := func(b *backend) int64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return int64(b.envActive) + b.envCreates.Load()
+	}
+	best, bestScore := healthy[0], scoreOf(healthy[0])
+	for _, b := range healthy[1:] {
+		if s := scoreOf(b); s < bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
 
-// ownerOf resolves which backend owns a job ID: the replica named inside
-// the ID if the fleet runs with replica IDs, else the owner recorded at
-// submit time.
-func (g *Gate) ownerOf(id string) *backend {
-	if m := jobIDPattern.FindStringSubmatch(id); m != nil {
+// ID patterns extract the replica name a prefixed resource ID carries —
+// jobs are "j-<replica>-000042", env sessions "e-<replica>-000007". The
+// two namespaces share one owner-resolution mechanism.
+var (
+	jobIDPattern = regexp.MustCompile(`^j-(.+)-[0-9]{6}$`)
+	envIDPattern = regexp.MustCompile(`^e-(.+)-[0-9]{6}$`)
+)
+
+// ownerOf resolves which backend owns a resource ID: the replica named
+// inside the ID (per the namespace's pattern) if the fleet runs with
+// replica IDs, else the owner recorded at submit/create time.
+func (g *Gate) ownerOf(id string, pattern *regexp.Regexp) *backend {
+	if m := pattern.FindStringSubmatch(id); m != nil {
 		for _, b := range g.backends {
 			b.mu.Lock()
 			name := b.name
@@ -426,6 +462,23 @@ func (g *Gate) route(w http.ResponseWriter, r *http.Request) {
 		b.submits.Add(1)
 		g.proxySubmit(w, r, body, b, path == "/v1/jobs")
 		return
+	case r.Method == http.MethodPost && path == "/v1/envs":
+		// Session creates route to the replica holding the fewest live env
+		// sessions (statusz envs.active plus creates routed since the last
+		// poll) — session state is replica-local, so balancing creates is
+		// what balances step load.
+		b := g.pickLeastEnvLoaded(healthy)
+		g.leastLoadedRouted.Add(1)
+		g.metrics.routeTotal.With("least_loaded").Inc()
+		b.envCreates.Add(1)
+		g.proxyEnvCreate(w, r, body, b)
+		return
+	case strings.HasPrefix(path, "/v1/envs/"):
+		// Step/get/delete are owner-sticky: the session lives only on the
+		// replica that created it, named inside the ID ("e-<replica>-000007").
+		g.metrics.routeTotal.With("owner").Inc()
+		g.routeEnvDetail(w, r, body, healthy)
+		return
 	case g.cfg.Affinity && path == "/v1/riskmap":
 		if key, ok := riskmapKey(r, body); ok {
 			g.affinityRouted.Add(1)
@@ -506,7 +559,7 @@ func (g *Gate) routeJobDetail(w http.ResponseWriter, r *http.Request, body []byt
 	if i := strings.IndexByte(rest, '/'); i >= 0 {
 		id = rest[:i]
 	}
-	if b := g.ownerOf(id); b != nil {
+	if b := g.ownerOf(id, jobIDPattern); b != nil {
 		if b.isHealthy() {
 			g.proxy(w, r, body, b)
 			return
@@ -535,6 +588,68 @@ func (g *Gate) routeJobDetail(w http.ResponseWriter, r *http.Request, body []byt
 		}
 	}
 	writeGateErr(w, http.StatusNotFound, "unknown_job", fmt.Sprintf("job %q not found on any replica", id))
+}
+
+// routeEnvDetail proxies /v1/envs/{id}… (step, get, delete) to the replica
+// that owns the session. When the owner is unknown (un-prefixed ID created
+// around the gate), every healthy replica is probed and the first non-404
+// answer wins — a non-owner replica's 404 unknown_env is authoritative for
+// its own namespace but says nothing about the fleet.
+func (g *Gate) routeEnvDetail(w http.ResponseWriter, r *http.Request, body []byte, healthy []*backend) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/envs/")
+	id := rest
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		id = rest[:i]
+	}
+	if b := g.ownerOf(id, envIDPattern); b != nil {
+		if b.isHealthy() {
+			g.proxy(w, r, body, b)
+			return
+		}
+		// The owner is down: its sessions are gone with its process. A live
+		// replica answers authoritatively (404 unknown_env after a restart,
+		// 503 shutting_down during its drain).
+		g.retries.Add(1)
+		g.proxy(w, r, body, g.pickRoundRobin(healthy))
+		return
+	}
+	for i, b := range healthy {
+		resp, raw, err := g.fetch(r, body, b)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound || i == len(healthy)-1 {
+			copyHeader(w.Header(), resp.Header)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(raw)
+			return
+		}
+	}
+	writeGateErr(w, http.StatusNotFound, "unknown_env", fmt.Sprintf("env session %q not found on any replica", id))
+}
+
+// proxyEnvCreate proxies a session create, recording the assigned session
+// ID so later step/get/delete requests can find their replica even without
+// ID prefixes.
+func (g *Gate) proxyEnvCreate(w http.ResponseWriter, r *http.Request, body []byte, b *backend) {
+	resp, raw, err := g.fetch(r, body, b)
+	if err != nil {
+		writeGateErr(w, http.StatusBadGateway, "backend_down", fmt.Sprintf("replica %s: %v", b.url, err))
+		return
+	}
+	if resp.StatusCode == http.StatusCreated {
+		var created struct {
+			Session struct {
+				ID string `json:"id"`
+			} `json:"session"`
+		}
+		if json.Unmarshal(raw, &created) == nil && created.Session.ID != "" {
+			g.recordOwner(created.Session.ID, b)
+		}
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw)
 }
 
 // handleJobListFanout merges GET /v1/jobs across the fleet.
@@ -728,6 +843,11 @@ type BackendStatus struct {
 	// SubmitsSincePoll counts job submissions routed here since the last
 	// health poll.
 	SubmitsSincePoll int64 `json:"submits_since_poll"`
+	// EnvActive is the replica's reported live env session count.
+	EnvActive int `json:"env_active"`
+	// EnvCreatesSincePoll counts env session creates routed here since the
+	// last health poll.
+	EnvCreatesSincePoll int64 `json:"env_creates_since_poll"`
 }
 
 // GatezResponse is the gate's own status report.
@@ -748,15 +868,17 @@ func (g *Gate) Status() GatezResponse {
 	for _, b := range g.backends {
 		b.mu.Lock()
 		resp.Backends = append(resp.Backends, BackendStatus{
-			Name:             b.name,
-			URL:              b.url,
-			Healthy:          b.healthy,
-			Queued:           b.queued,
-			Running:          b.running,
-			MeanJobSeconds:   b.meanJob,
-			Completed:        b.completed,
-			Proxied:          b.proxied.Load(),
-			SubmitsSincePoll: b.submits.Load(),
+			Name:                b.name,
+			URL:                 b.url,
+			Healthy:             b.healthy,
+			Queued:              b.queued,
+			Running:             b.running,
+			MeanJobSeconds:      b.meanJob,
+			Completed:           b.completed,
+			Proxied:             b.proxied.Load(),
+			SubmitsSincePoll:    b.submits.Load(),
+			EnvActive:           b.envActive,
+			EnvCreatesSincePoll: b.envCreates.Load(),
 		})
 		b.mu.Unlock()
 	}

@@ -1,7 +1,8 @@
 // Package load is the deterministic fleet load harness behind the
-// pawsload binary: it drives a mixed predict/riskmap/plan/job workload
-// against a pawsd replica or a pawsgate front-end at a target request
-// rate and records per-endpoint throughput and latency percentiles.
+// pawsload binary: it drives a mixed predict/riskmap/plan/job/env
+// workload against a pawsd replica or a pawsgate front-end at a target
+// request rate and records per-endpoint throughput and latency
+// percentiles.
 //
 // Determinism: the op sequence (which endpoint, which effort, which
 // cells, which post) is generated up front from one seed, so two runs
@@ -57,7 +58,10 @@ type Config struct {
 	// 1, 1.5, 2, 2.5) — small so repeat keys exist for caches to hit.
 	Efforts []float64
 	// Weights sets the op mix per endpoint name (predict, riskmap, plan,
-	// job); default 5/5/1/1. A zero-weight endpoint is skipped.
+	// job, env); default 5/5/1/1/1. A zero-weight endpoint is skipped.
+	// An env op is one whole remote episode: create a /v1/envs session,
+	// step it to completion with a deterministic random allocation drawn
+	// from the op's pre-drawn seed, then delete it.
 	Weights map[string]int
 	// Client overrides the HTTP client (nil = default with 60s timeout).
 	Client *http.Client
@@ -120,6 +124,7 @@ type op struct {
 	effort float64
 	cells  []int
 	post   int
+	seed   int64 // env ops: session seed and effort-allocation stream
 }
 
 // sample is one completed request.
@@ -162,7 +167,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cfg.Efforts = []float64{1, 1.5, 2, 2.5}
 	}
 	if cfg.Weights == nil {
-		cfg.Weights = map[string]int{"predict": 5, "riskmap": 5, "plan": 1, "job": 1}
+		cfg.Weights = map[string]int{"predict": 5, "riskmap": 5, "plan": 1, "job": 1, "env": 1}
 	}
 	client := cfg.Client
 	if client == nil {
@@ -241,7 +246,7 @@ func discover(ctx context.Context, client *http.Client, base, want string) (mode
 // buildOps pre-draws the deterministic op schedule.
 func buildOps(cfg Config, cells, posts int) []op {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	kinds := []string{"predict", "riskmap", "plan", "job"} // fixed draw order
+	kinds := []string{"predict", "riskmap", "plan", "job", "env"} // fixed draw order
 	var weighted []string
 	for _, k := range kinds {
 		for i := 0; i < cfg.Weights[k]; i++ {
@@ -270,6 +275,8 @@ func buildOps(cfg Config, cells, posts int) []op {
 			if posts > 0 {
 				o.post = rng.Intn(posts)
 			}
+		case "env":
+			o.seed = rng.Int63()
 		}
 		ops = append(ops, o)
 	}
@@ -304,6 +311,99 @@ func doOp(ctx context.Context, client *http.Client, base, model string, o op) sa
 		s.err = !ok
 	case "job":
 		s = doJobOp(ctx, client, base, model, o)
+	case "env":
+		s = doEnvOp(ctx, client, base, o)
+	}
+	return s
+}
+
+// Env-op episode shape: short and fixed, so one op is a bounded unit of
+// work. The per-op seed (pre-drawn in buildOps) roots both the session's
+// simulation and the random effort allocation it is stepped with.
+const (
+	envOpPark            = "MFNP"
+	envOpSeasons         = 2
+	envOpSeasonMonths    = 1
+	envOpBootstrapMonths = 6
+)
+
+// doEnvOp plays one whole remote episode: create a session, step every
+// season with a deterministic random per-cell allocation, delete the
+// session. The sample's latency covers the full create → done → delete
+// round trip.
+func doEnvOp(ctx context.Context, client *http.Client, base string, o op) sample {
+	s := sample{kind: "env"}
+	body, _ := json.Marshal(map[string]any{
+		"park":             envOpPark,
+		"seed":             o.seed,
+		"seasons":          envOpSeasons,
+		"season_months":    envOpSeasonMonths,
+		"bootstrap_months": envOpBootstrapMonths,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/envs", bytes.NewReader(body))
+	if err != nil {
+		s.err = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		s.err = true
+		return s
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	s.traceID = resp.Header.Get(obs.TraceHeader)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		s.shed = true
+		return s
+	}
+	var created struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+		Obs struct {
+			Effort   [][]float64 `json:"effort"`
+			BudgetKM float64     `json:"budget_km"`
+		} `json:"obs"`
+	}
+	if resp.StatusCode != http.StatusCreated || json.Unmarshal(raw, &created) != nil ||
+		created.Session.ID == "" || len(created.Obs.Effort) == 0 {
+		s.err = true
+		return s
+	}
+	cells := len(created.Obs.Effort[0])
+	erng := rand.New(rand.NewSource(o.seed))
+	for season := 0; season < envOpSeasons; season++ {
+		eff := make([]float64, cells)
+		sum := 0.0
+		for i := range eff {
+			eff[i] = erng.Float64()
+			sum += eff[i]
+		}
+		for i := range eff {
+			eff[i] = eff[i] / sum * created.Obs.BudgetKM
+		}
+		stepBody, _ := json.Marshal(map[string]any{"effort": eff})
+		var step struct {
+			Done bool `json:"done"`
+		}
+		ok, _ := post2xx(ctx, client, base+"/v1/envs/"+created.Session.ID+"/step", stepBody, &step)
+		if !ok {
+			s.err = true
+			break
+		}
+		if step.Done {
+			break
+		}
+	}
+	// Delete even after a failed step, so the session does not linger
+	// until TTL eviction and distort later capacity behavior.
+	if dreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/v1/envs/"+created.Session.ID, nil); err == nil {
+		if dresp, err := client.Do(dreq); err == nil {
+			io.Copy(io.Discard, dresp.Body)
+			dresp.Body.Close()
+		}
 	}
 	return s
 }

@@ -140,7 +140,7 @@ func TestRunAgainstServer(t *testing.T) {
 		Concurrency: 4,
 		Seed:        7,
 		Efforts:     []float64{1, 2}, // tiny set → guaranteed repeat keys
-		Weights:     map[string]int{"predict": 4, "riskmap": 6, "plan": 1, "job": 1},
+		Weights:     map[string]int{"predict": 4, "riskmap": 6, "plan": 1, "job": 1, "env": 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Fatalf("bad run identity: label=%q model=%q", res.Label, res.Model)
 	}
 	total := 0
-	for _, kind := range []string{"predict", "riskmap", "plan", "job"} {
+	for _, kind := range []string{"predict", "riskmap", "plan", "job", "env"} {
 		st, ok := res.Endpoints[kind]
 		if !ok || st.Requests == 0 {
 			t.Fatalf("endpoint %s saw no traffic: %+v", kind, res.Endpoints)

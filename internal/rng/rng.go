@@ -91,6 +91,51 @@ func (r *RNG) SampleWithoutReplacement(n, k int) []int {
 	return idx[:k]
 }
 
+// Gamma samples a Gamma(shape, 1) variate by the Marsaglia–Tsang squeeze
+// method, with the standard U^(1/shape) boost for shape < 1. Non-positive
+// shapes return 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) · U^{1/k}; reject U = 0 so the power is
+		// finite.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta samples a Beta(a, b) variate as Gamma(a)/(Gamma(a)+Gamma(b)).
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
 // Poisson samples a Poisson(lambda) variate by Knuth's method for small
 // lambda and a rounded normal approximation for large lambda.
 func (r *RNG) Poisson(lambda float64) int {

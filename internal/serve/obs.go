@@ -27,6 +27,8 @@ type serverMetrics struct {
 	httpSeconds obs.HistogramVec // endpoint
 	jobsShed    obs.Counter
 	jobsSubmit  obs.CounterVec // kind
+	envsShed    obs.Counter
+	envSteps    obs.Histogram
 }
 
 // newServerMetrics registers the instrument set over live server state:
@@ -47,6 +49,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		jobsSubmit: r.CounterVec("paws_jobs_submitted_total",
 			"Jobs admitted to the queue by kind (includes one-shot synchronous simulate).",
 			"kind"),
+		envsShed: r.Counter("paws_env_sessions_shed_total",
+			"Env session creates rejected by the session-capacity bound (429)."),
+		envSteps: r.Histogram("paws_env_step_seconds",
+			"Env session step latency in seconds (one season of compute).", nil),
 	}
 	r.CounterFunc("paws_riskmap_cache_hits_total",
 		"Riskmap LRU lookups served from cache.",
@@ -72,6 +78,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.GaugeFunc("paws_job_mean_seconds",
 		"EWMA of job runtime in seconds (0 until the first job completes).",
 		func() float64 { return s.jobs.Stats().MeanJobSeconds })
+	r.GaugeFunc("paws_env_sessions_active",
+		"Env sessions whose episode is not yet done.",
+		func() float64 { return float64(s.envs.Stats().Active) })
+	r.GaugeFunc("paws_env_sessions",
+		"Env sessions currently retained (live + finished).",
+		func() float64 { return float64(s.envs.Stats().Sessions) })
+	r.CounterFunc("paws_env_sessions_created_total",
+		"Env sessions created.",
+		func() float64 { return float64(s.envs.Stats().Created) })
+	r.CounterFunc("paws_env_steps_total",
+		"Env seasons stepped.",
+		func() float64 { return float64(s.envs.Stats().Steps) })
 	return m
 }
 

@@ -64,6 +64,7 @@ import (
 	"time"
 
 	"paws"
+	"paws/internal/env"
 	"paws/internal/job"
 	"paws/internal/obs"
 	"paws/internal/sim"
@@ -110,6 +111,13 @@ type Config struct {
 	// TraceCapacity bounds the /tracez flight recorder: how many completed
 	// traces are retained, newest first (default 64).
 	TraceCapacity int
+	// EnvTTL bounds how long idle /v1/envs sessions are retained (default
+	// 15m; negative disables TTL eviction).
+	EnvTTL time.Duration
+	// EnvMaxSessions bounds retained /v1/envs sessions (default 64). At the
+	// bound, creates are shed with a structured 429 + Retry-After once no
+	// finished session can be evicted.
+	EnvMaxSessions int
 }
 
 // Server is the HTTP layer over a paws.Service. It is an http.Handler.
@@ -119,6 +127,7 @@ type Server struct {
 	mux     *http.ServeMux
 	cache   *lruCache
 	jobs    *job.Manager
+	envs    *env.Manager
 	metrics *serverMetrics
 	tracer  *obs.Recorder
 }
@@ -144,6 +153,11 @@ func New(svc *paws.Service, cfg Config) *Server {
 			MaxRetained: cfg.JobMaxRetained,
 			IDPrefix:    cfg.ReplicaID,
 		}),
+		envs: env.NewManager(env.ManagerConfig{
+			TTL:         cfg.EnvTTL,
+			MaxSessions: cfg.EnvMaxSessions,
+			IDPrefix:    cfg.ReplicaID,
+		}),
 		tracer: obs.NewRecorder(cfg.TraceCapacity),
 	}
 	s.metrics = newServerMetrics(s)
@@ -161,16 +175,27 @@ func New(svc *paws.Service, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/envs", s.handleEnvCreate)
+	s.mux.HandleFunc("POST /v1/envs/{id}/step", s.handleEnvStep)
+	s.mux.HandleFunc("GET /v1/envs/{id}", s.handleEnvGet)
+	s.mux.HandleFunc("DELETE /v1/envs/{id}", s.handleEnvDelete)
 	s.mux.Handle("GET /metricsz", s.metrics.registry.Handler())
 	s.mux.Handle("GET /tracez", s.tracer.Handler())
 	return s
 }
 
-// Close drains the job layer: submissions stop, queued and running jobs
-// finish (or, once ctx expires, are canceled and awaited). Call it after
-// http.Server.Shutdown so a graceful pawsd exit never abandons work
-// mid-run.
-func (s *Server) Close(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+// Close drains the job and env layers: submissions and session creates
+// stop, queued and running jobs finish, in-flight env steps complete (or,
+// once ctx expires, are canceled and awaited), and retained sessions are
+// dropped. Call it after http.Server.Shutdown so a graceful pawsd exit
+// never abandons work mid-run.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.jobs.Shutdown(ctx)
+	if err2 := s.envs.Shutdown(ctx); err == nil {
+		err = err2
+	}
+	return err
+}
 
 // requestCtx applies the server-wide and per-request deadlines.
 func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {

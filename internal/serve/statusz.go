@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paws"
+	"paws/internal/env"
 	"paws/internal/job"
 )
 
@@ -38,6 +39,9 @@ type StatuszResponse struct {
 	Models int `json:"models"`
 	// Jobs is the job manager's load summary.
 	Jobs job.Stats `json:"jobs"`
+	// Envs is the env session manager's load summary — the signal
+	// pawsgate's least-loaded env-create routing scores replicas by.
+	Envs env.Stats `json:"envs"`
 	// Admission is the admission-control state.
 	Admission AdmissionStatus `json:"admission"`
 	// RiskMapCache reports the riskmap LRU's size and lifetime hit/miss
@@ -53,6 +57,7 @@ func (s *Server) Statusz() StatuszResponse {
 		Replica: s.cfg.ReplicaID,
 		Models:  len(s.svc.ModelNames()),
 		Jobs:    st,
+		Envs:    s.envs.Stats(),
 		Admission: AdmissionStatus{
 			BudgetSeconds:  s.cfg.AdmissionBudget.Seconds(),
 			BacklogSeconds: backlog.Seconds(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"paws/internal/env"
 	"paws/internal/rng"
 )
 
@@ -71,8 +72,9 @@ func (randomPolicy) PlanSeason(_ context.Context, obs *Obs, _ int, r *rng.RNG) (
 	return &SeasonPlan{Effort: eff}, nil
 }
 
-// ByName resolves a built-in baseline policy name ("uniform", "historical",
-// "random"). The "paws" policy is constructed by the root package.
+// ByName resolves a built-in policy name: the ML-free baselines above plus
+// the learned sequential policies internal/env hosts ("thompson",
+// "softmax"). The "paws" policy is constructed by the root package.
 func ByName(name string) (Policy, error) {
 	switch name {
 	case "uniform":
@@ -81,6 +83,10 @@ func ByName(name string) (Policy, error) {
 		return Historical(), nil
 	case "random":
 		return Random(), nil
+	case "thompson":
+		return env.Thompson(), nil
+	case "softmax":
+		return env.Softmax(), nil
 	}
-	return nil, fmt.Errorf("sim: unknown policy %q (built-ins: uniform, historical, random)", name)
+	return nil, fmt.Errorf("sim: unknown policy %q (built-ins: uniform, historical, random, thompson, softmax)", name)
 }

@@ -1,93 +1,50 @@
-// Package sim is the closed-loop patrol simulation engine: the missing half
+// Package sim is the closed-loop patrol simulation harness: the missing half
 // of the paper's field-test story. The repo's other packages generate ONE
 // fixed history and score predictions against it; this package runs the full
 // plan → patrol → poacher-reaction → retrain loop so patrol *policies* can be
 // compared head-to-head over multiple seasons.
 //
-// # The season loop
-//
-// A simulation starts from a bootstrap history (poach.Simulate under the
-// park's historical ranger behaviour) and then, for each season:
-//
-//  1. The policy under test sees the observed record so far — realized
-//     patrol effort and detections, never the hidden attacks — and plans a
-//     per-cell effort allocation for the season (the PAWS policy in the root
-//     package retrains its model and runs the Frank-Wolfe planner here).
-//  2. The engine rescales the allocation to the park's monthly patrol
-//     budget and executes it for each month of the season.
-//  3. The attacker (poach.Attacker) responds: the static behaviour
-//     reproduces the historical process, while the adaptive behaviour
-//     remembers patrol pressure (deterrence) and shifts attacks into
-//     less-patrolled neighbouring cells (displacement).
-//  4. Realized attacks are detected with the effort-dependent probability of
-//     the ground truth; detections (and non-poaching observations) append to
-//     the observed record the policy trains on next season.
+// The season loop itself lives in internal/env as a stepped environment
+// (Reset/Step semantics); sim.Run is the comparison driver over it: one
+// shared bootstrap history, one env.Env per policy, all episodes played
+// through env.Drive under common random numbers, results merged into a
+// Report. See internal/env's package documentation for the loop and its
+// determinism contract.
 //
 // Per-season detections, snares placed and displaced attacks are reported
-// per policy, so "PAWS vs uniform vs historical vs random" is one call.
-//
-// # Determinism
-//
-// Every policy's loop runs against common random numbers: the per-cell
-// attack-opportunism noise and the attack/detection/observation uniforms for
-// month m are derived from (seed, m) only, never from the policy. Two
-// policies' outcomes therefore differ only where their patrol effort
-// actually changes an attack or detection probability — the tightest
-// possible head-to-head comparison — and the whole report is byte-identical
-// for any worker count (policies fan out over internal/par).
+// per policy, so "PAWS vs uniform vs historical vs random" is one call — and
+// because every policy's episode runs against common random numbers, two
+// policies' outcomes differ only where their patrol effort actually changes
+// an attack or detection probability. The whole report is byte-identical for
+// any worker count (policies fan out over internal/par).
 package sim
 
 import (
 	"context"
 	"fmt"
-	"math"
 
+	"paws/internal/env"
 	"paws/internal/geo"
-	"paws/internal/obs"
 	"paws/internal/par"
 	"paws/internal/poach"
-	"paws/internal/rng"
-	"paws/internal/stats"
 )
 
-// Obs is the policy-visible state of a simulation: the park and the observed
-// patrol record. Hidden ground truth (where attacks actually happened) is
-// deliberately absent — policies know exactly what real park managers know.
-// All slices are owned by the engine and must be treated as read-only.
-type Obs struct {
-	Park *geo.Park
-	// Months is the number of observed months; Effort and Detections have
-	// one entry per month.
-	Months int
-	// Effort[m][cell] is the realized patrol effort (km).
-	Effort [][]float64
-	// Detections[m][cell] reports a detected poaching sign.
-	Detections [][]bool
-	// Observations is the SMART-style observation log (poaching and
-	// non-poaching).
-	Observations []poach.Observation
-	// BudgetKM is the per-month patrol budget the plan will be scaled to.
-	BudgetKM float64
-}
+// Obs is the policy-visible state of a simulation; see env.Obs.
+type Obs = env.Obs
 
-// SeasonPlan is a policy's allocation for one season: desired per-cell
-// patrol effort (rescaled by the engine to the budget) and, optionally, the
-// executable routes behind it (reported, not re-derived).
-type SeasonPlan struct {
-	// Effort[cell] is the desired patrol effort; only its relative
-	// distribution matters (the engine normalizes the total to the budget).
-	Effort []float64
-	// Routes are optional executable patrols in park cell ids.
-	Routes [][]int
-}
+// SeasonPlan is a policy's allocation for one season; see env.SeasonPlan.
+type SeasonPlan = env.SeasonPlan
 
-// Policy plans one season of patrol effort from the observed record. r is a
-// deterministic stream derived from the simulation seed, the policy name and
-// the season — the only randomness a policy may use.
-type Policy interface {
-	Name() string
-	PlanSeason(ctx context.Context, obs *Obs, season int, r *rng.RNG) (*SeasonPlan, error)
-}
+// Policy plans one season of patrol effort from the observed record; see
+// env.Policy.
+type Policy = env.Policy
+
+// SeasonStats is one season's outcome for one policy; see env.SeasonStats.
+type SeasonStats = env.SeasonStats
+
+// PolicyResult is one policy's full season log plus totals; see
+// env.PolicyResult.
+type PolicyResult = env.PolicyResult
 
 // Config drives one closed-loop simulation.
 type Config struct {
@@ -121,63 +78,17 @@ type Config struct {
 	Progress func(policy string, season, seasons int)
 }
 
-// withDefaults validates and fills cfg. Zero values select defaults;
-// negative values (and degenerate parks) are rejected rather than silently
-// replaced, so a caller's typo surfaces as a structured error instead of a
-// simulation of the wrong thing.
-func (cfg Config) withDefaults() (Config, error) {
-	if cfg.Park == nil {
-		return cfg, fmt.Errorf("sim: nil park")
+// envConfig lowers the driver config to the environment's slice of it.
+func (cfg Config) envConfig() env.Config {
+	return env.Config{
+		Park:            cfg.Park,
+		Sim:             cfg.Sim,
+		Attacker:        cfg.Attacker,
+		Seasons:         cfg.Seasons,
+		SeasonMonths:    cfg.SeasonMonths,
+		BootstrapMonths: cfg.BootstrapMonths,
+		BudgetKM:        cfg.BudgetKM,
 	}
-	if len(cfg.Park.Posts) == 0 {
-		return cfg, fmt.Errorf("sim: park %s has no patrol posts", cfg.Park.Name)
-	}
-	if cfg.Seasons < 1 {
-		return cfg, fmt.Errorf("sim: seasons must be ≥ 1, got %d", cfg.Seasons)
-	}
-	if cfg.SeasonMonths < 0 {
-		return cfg, fmt.Errorf("sim: season months must be ≥ 1, got %d", cfg.SeasonMonths)
-	}
-	if cfg.SeasonMonths == 0 {
-		cfg.SeasonMonths = 3
-	}
-	if cfg.BootstrapMonths < 0 {
-		return cfg, fmt.Errorf("sim: bootstrap months must be ≥ 1, got %d", cfg.BootstrapMonths)
-	}
-	if cfg.BootstrapMonths == 0 {
-		cfg.BootstrapMonths = 24
-	}
-	if cfg.BudgetKM < 0 || math.IsNaN(cfg.BudgetKM) || math.IsInf(cfg.BudgetKM, 0) {
-		return cfg, fmt.Errorf("sim: budget %v km/month must be a non-negative finite number", cfg.BudgetKM)
-	}
-	if cfg.BudgetKM == 0 {
-		p := cfg.Sim.Patrol
-		cfg.BudgetKM = float64(len(cfg.Park.Posts) * p.PatrolsPerPostMonth * p.LengthKM)
-	}
-	if cfg.BudgetKM <= 0 {
-		return cfg, fmt.Errorf("sim: no patrol budget (set BudgetKM or Sim.Patrol)")
-	}
-	return cfg, nil
-}
-
-// SeasonStats is one season's outcome for one policy.
-type SeasonStats struct {
-	Season     int     `json:"season"`
-	StartMonth int     `json:"start_month"`
-	Snares     int     `json:"snares"`
-	Detections int     `json:"detections"`
-	Displaced  int     `json:"displaced"`
-	Routes     int     `json:"routes"`
-	EffortKM   float64 `json:"effort_km"`
-}
-
-// PolicyResult is one policy's full season log plus totals.
-type PolicyResult struct {
-	Policy     string        `json:"policy"`
-	Seasons    []SeasonStats `json:"seasons"`
-	Snares     int           `json:"snares"`
-	Detections int           `json:"detections"`
-	Displaced  int           `json:"displaced"`
 }
 
 // Report is the head-to-head outcome of one simulation run.
@@ -196,7 +107,7 @@ type Report struct {
 // common random numbers, so they fan out over cfg.Workers goroutines with
 // results in policy order — the report is byte-identical for any count.
 func Run(ctx context.Context, cfg Config, policies []Policy) (*Report, error) {
-	cfg, err := cfg.withDefaults()
+	ecfg, err := cfg.envConfig().WithDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -210,192 +121,39 @@ func Run(ctx context.Context, cfg Config, policies []Policy) (*Report, error) {
 		}
 		seen[p.Name()] = true
 	}
-	bootCfg := cfg.Sim
-	bootCfg.Months = cfg.BootstrapMonths
-	boot, err := poach.Simulate(cfg.Park, bootCfg)
+	boot, err := env.Bootstrap(ecfg)
 	if err != nil {
-		return nil, fmt.Errorf("sim: bootstrap history: %w", err)
+		return nil, err
 	}
 	// Validate the attacker config once, before fan-out.
-	if _, err := poach.NewAttacker(boot.Truth, cfg.Attacker); err != nil {
+	if _, err := poach.NewAttacker(boot.Truth, ecfg.Attacker); err != nil {
 		return nil, err
 	}
 	results, err := par.MapErrCtx(ctx, cfg.Workers, len(policies), func(i int) (PolicyResult, error) {
-		return runPolicy(ctx, cfg, boot, policies[i])
+		e, err := env.NewWithHistory(ecfg, boot)
+		if err != nil {
+			return PolicyResult{}, err
+		}
+		return env.Drive(ctx, e, policies[i], env.DriveConfig{
+			Seed:     ecfg.Sim.Seed,
+			Seasons:  ecfg.Seasons,
+			Progress: cfg.Progress,
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	attacker := cfg.Attacker.Kind
+	attacker := ecfg.Attacker.Kind
 	if attacker == "" {
 		attacker = poach.AttackerStatic
 	}
 	return &Report{
-		Park:         cfg.Park.Name,
-		Seed:         cfg.Sim.Seed,
+		Park:         ecfg.Park.Name,
+		Seed:         ecfg.Sim.Seed,
 		Attacker:     attacker,
-		Seasons:      cfg.Seasons,
-		SeasonMonths: cfg.SeasonMonths,
-		BudgetKM:     cfg.BudgetKM,
+		Seasons:      ecfg.Seasons,
+		SeasonMonths: ecfg.SeasonMonths,
+		BudgetKM:     ecfg.BudgetKM,
 		Policies:     results,
 	}, nil
-}
-
-// runPolicy plays one policy through every season against its own attacker
-// instance and its own extendable copy of the bootstrap history.
-func runPolicy(ctx context.Context, cfg Config, boot *poach.History, p Policy) (PolicyResult, error) {
-	park := cfg.Park
-	n := park.Grid.NumCells()
-	gt := boot.Truth
-	att, err := poach.NewAttacker(gt, cfg.Attacker)
-	if err != nil {
-		return PolicyResult{}, err
-	}
-	h := extendableCopy(boot)
-	// Warm the attacker's memory on the bootstrap record.
-	for m := 0; m < h.Months; m++ {
-		att.BeginMonth(m, prevEffort(h, m))
-	}
-	res := PolicyResult{Policy: p.Name()}
-	root := rng.New(cfg.Sim.Seed)
-	for s := 0; s < cfg.Seasons; s++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		o := &Obs{
-			Park:         park,
-			Months:       h.Months,
-			Effort:       h.Effort,
-			Detections:   h.Detected,
-			Observations: h.Observations,
-			BudgetKM:     cfg.BudgetKM,
-		}
-		item := fmt.Sprintf("%s season %d", p.Name(), s)
-		stream := root.Split(fmt.Sprintf("policy:%s:season:%d", p.Name(), s))
-		endPlan := obs.StartSpan(ctx, "plan", item)
-		plan, err := p.PlanSeason(ctx, o, s, stream)
-		endPlan()
-		if err != nil {
-			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
-		}
-		eff, err := scaleToBudget(plan.Effort, cfg.BudgetKM, n)
-		if err != nil {
-			return res, fmt.Errorf("sim: policy %s season %d: %w", p.Name(), s, err)
-		}
-		st := SeasonStats{Season: s, StartMonth: h.Months, Routes: len(plan.Routes)}
-		endPatrol := obs.StartSpan(ctx, "patrol", item)
-		for k := 0; k < cfg.SeasonMonths; k++ {
-			m := h.Months
-			att.BeginMonth(m, prevEffort(h, m))
-			noise, attackU, detectU, obsU := monthDraws(cfg.Sim.Seed, m, n)
-			attacked := make([]bool, n)
-			detected := make([]bool, n)
-			for id := 0; id < n; id++ {
-				logit := att.AttackLogit(id) + cfg.Sim.TemporalNoise*noise[id]
-				if attackU[id] >= stats.Logistic(logit) {
-					continue
-				}
-				attacked[id] = true
-				st.Snares++
-				if att.Displaced(id) {
-					st.Displaced++
-				}
-				if detectU[id] < gt.DetectProb(eff[id]) {
-					detected[id] = true
-					st.Detections++
-					h.Observations = append(h.Observations, poach.Observation{Month: m, CellID: id, Poaching: true})
-				}
-			}
-			for id := 0; id < n; id++ {
-				if eff[id] > 0 && obsU[id] < cfg.Sim.NonPoachingRate {
-					h.Observations = append(h.Observations, poach.Observation{Month: m, CellID: id, Poaching: false})
-				}
-			}
-			h.Effort = append(h.Effort, eff)
-			h.Attacked = append(h.Attacked, attacked)
-			h.Detected = append(h.Detected, detected)
-			h.Months++
-			for _, e := range eff {
-				st.EffortKM += e
-			}
-		}
-		endPatrol()
-		res.Seasons = append(res.Seasons, st)
-		res.Snares += st.Snares
-		res.Detections += st.Detections
-		res.Displaced += st.Displaced
-		if cfg.Progress != nil {
-			cfg.Progress(p.Name(), s+1, cfg.Seasons)
-		}
-	}
-	return res, nil
-}
-
-// monthDraws returns the per-cell random draws for one simulated month,
-// derived from the root seed and the month only — every policy sees the same
-// draws (common random numbers), so two policies' outcomes differ only where
-// their patrol effort actually changes a probability. Exactly four draws per
-// cell are consumed in a fixed order, so the streams stay aligned across
-// policies regardless of outcomes.
-func monthDraws(seed int64, month, n int) (noise, attackU, detectU, obsU []float64) {
-	r := rng.New(seed).Split(fmt.Sprintf("sim-month:%d", month))
-	noise = make([]float64, n)
-	attackU = make([]float64, n)
-	detectU = make([]float64, n)
-	obsU = make([]float64, n)
-	for id := 0; id < n; id++ {
-		noise[id] = r.NormFloat64()
-		attackU[id] = r.Float64()
-		detectU[id] = r.Float64()
-		obsU[id] = r.Float64()
-	}
-	return noise, attackU, detectU, obsU
-}
-
-// prevEffort returns month m−1's realized effort, or nil for the first month.
-func prevEffort(h *poach.History, m int) []float64 {
-	if m <= 0 {
-		return nil
-	}
-	return h.Effort[m-1]
-}
-
-// extendableCopy clones the outer slices of a history so each policy can
-// append months without touching the shared bootstrap. Inner per-month
-// slices are shared read-only.
-func extendableCopy(boot *poach.History) *poach.History {
-	h := *boot
-	h.Effort = append(make([][]float64, 0, len(boot.Effort)+8), boot.Effort...)
-	h.Attacked = append(make([][]bool, 0, len(boot.Attacked)+8), boot.Attacked...)
-	h.Detected = append(make([][]bool, 0, len(boot.Detected)+8), boot.Detected...)
-	h.Observations = append(make([]poach.Observation, 0, len(boot.Observations)+64), boot.Observations...)
-	return &h
-}
-
-// scaleToBudget clamps negatives and rescales the allocation so the total
-// equals the monthly budget. An all-zero allocation falls back to uniform.
-func scaleToBudget(effort []float64, budget float64, n int) ([]float64, error) {
-	if len(effort) != n {
-		return nil, fmt.Errorf("sim: plan has %d cells, park has %d", len(effort), n)
-	}
-	out := make([]float64, n)
-	var total float64
-	for i, e := range effort {
-		if e > 0 {
-			out[i] = e
-			total += e
-		}
-	}
-	if total <= 0 {
-		u := budget / float64(n)
-		for i := range out {
-			out[i] = u
-		}
-		return out, nil
-	}
-	scale := budget / total
-	for i := range out {
-		out[i] *= scale
-	}
-	return out, nil
 }

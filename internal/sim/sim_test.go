@@ -194,7 +194,7 @@ func TestRunCanceledContext(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"uniform", "historical", "random"} {
+	for _, name := range []string{"uniform", "historical", "random", "thompson", "softmax"} {
 		p, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -205,26 +205,5 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("paws"); err == nil {
 		t.Fatal("ByName must not resolve the root-package paws policy")
-	}
-}
-
-// TestScaleToBudget covers clamping, rescale and the uniform fallback.
-func TestScaleToBudget(t *testing.T) {
-	out, err := scaleToBudget([]float64{1, 3, -2, 0}, 8, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out[0] != 2 || out[1] != 6 || out[2] != 0 || out[3] != 0 {
-		t.Fatalf("scaled allocation %v", out)
-	}
-	flat, err := scaleToBudget([]float64{0, 0}, 6, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if flat[0] != 3 || flat[1] != 3 {
-		t.Fatalf("uniform fallback %v", flat)
-	}
-	if _, err := scaleToBudget([]float64{1}, 6, 2); err == nil {
-		t.Fatal("length mismatch accepted")
 	}
 }
