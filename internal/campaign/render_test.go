@@ -1,0 +1,37 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRenderByteStable pins both campaign emitters — the text table and
+// the JSON report — as byte-identical across repeated renders of the
+// same report. Together with TestRunDeterministicAcrossWorkers this
+// keeps campaign output diffable across runs, which the smoke scripts
+// rely on.
+func TestRenderByteStable(t *testing.T) {
+	cfg := testConfig()
+	rep, err := Run(context.Background(), cfg, fakeRunner(cfg.Policies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Format()
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := rep.Format(); got != text {
+			t.Fatalf("Format render %d differs", i)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(js) {
+			t.Fatalf("JSON render %d differs", i)
+		}
+	}
+}

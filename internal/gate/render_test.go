@@ -1,0 +1,27 @@
+package gate
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestGatezRenderByteStable pins /gatez as byte-identical across
+// repeated renders of an idle gate: backend rows come from the
+// configuration-ordered slice, not map iteration, so operators diffing
+// gate status across polls see real changes only.
+func TestGatezRenderByteStable(t *testing.T) {
+	a := newStub(t, "a", 0)
+	b := newStub(t, "b", 0)
+	g := newGate(t, false, a, b)
+	first := roundTrip(t, g, http.MethodGet, "/gatez", nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("gatez: status %d", first.Code)
+	}
+	for i := 0; i < 5; i++ {
+		rec := roundTrip(t, g, http.MethodGet, "/gatez", nil)
+		if !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, rec.Body, first.Body)
+		}
+	}
+}

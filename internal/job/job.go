@@ -622,7 +622,8 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// cancelAll requests cancellation of every non-terminal job.
+// cancelAll requests cancellation of every non-terminal job, in ID
+// order so shutdown behavior never depends on map iteration order.
 func (m *Manager) cancelAll() {
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.jobs))
@@ -632,6 +633,7 @@ func (m *Manager) cancelAll() {
 		}
 	}
 	m.mu.Unlock()
+	sort.Strings(ids)
 	for _, id := range ids {
 		m.Cancel(id)
 	}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// checkErrEnvelope enforces the structured error contract of the HTTP
+// layers (internal/serve, internal/gate): every non-2xx response carries
+// {"error":{code,message,trace_id}} so clients parse one error shape
+// whether the failure came from a replica or the gate. Two escapes are
+// flagged:
+//
+//   - http.Error — plain-text body, never the envelope;
+//   - WriteHeader with a constant non-2xx status — a raw error response
+//     with whatever body follows (or none).
+//
+// WriteHeader with a non-constant status is not flagged: the envelope
+// writers themselves (serve.writeJSON, gate.writeGateErr) and the gate's
+// verbatim proxying of upstream responses pass a computed status, and
+// both are exactly the sanctioned paths.
+func checkErrEnvelope(pkg *Package) []Finding {
+	if !envelopeChecked(pkg.Rel) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgCall(pkg.Info, call); ok && path == "net/http" && name == "Error" {
+				out = append(out, pkg.finding(call.Pos(), "errenvelope",
+					"http.Error writes a plain-text error; use the structured envelope writer (serve.writeErr / gate.writeGateErr) instead"))
+				return true
+			}
+			if status, ok := constantWriteHeader(pkg.Info, call); ok && (status < 200 || status > 299) {
+				out = append(out, pkg.finding(call.Pos(), "errenvelope",
+					fmt.Sprintf("raw WriteHeader(%d) bypasses the structured error envelope; use serve.writeErr / gate.writeGateErr", status)))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// constantWriteHeader matches `x.WriteHeader(<constant int>)` where x's
+// method set carries WriteHeader(int) — i.e. an http.ResponseWriter or a
+// wrapper — and returns the constant status.
+func constantWriteHeader(info *types.Info, call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return 0, false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return 0, false
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return 0, false
+	}
+	if basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.Int {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	status, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return int(status), true
+}

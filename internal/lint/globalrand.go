@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are math/rand (and math/rand/v2) package-level
+// functions backed by the shared global source: unseeded, consumed by
+// every caller in the process, and therefore never reproducible. The
+// constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) are not in
+// this set — they are handled separately for compute packages.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true,
+}
+
+// randConstructors create private sources. Fine in serving code (jitter,
+// backoff); banned in deterministic-compute packages, where every stream
+// must derive from internal/rng's seed-splitting so adding randomness to
+// one component never perturbs another.
+var randConstructors = map[string]bool{"New": true, "NewSource": true}
+
+// checkGlobalRand flags (a) global math/rand functions anywhere and
+// (b) rand.New/rand.NewSource in deterministic-compute packages.
+// internal/rng itself is the sanctioned derivation root and carries an
+// inline suppression at its single constructor site.
+func checkGlobalRand(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(pkg.Info, call)
+			if !ok || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			switch {
+			case globalRandFuncs[name]:
+				out = append(out, pkg.finding(call.Pos(), "globalrand",
+					fmt.Sprintf("call to global rand.%s (process-shared source, never reproducible); use an explicit *rand.Rand derived from internal/rng", name)))
+			case pkg.Class == ClassCompute && randConstructors[name]:
+				out = append(out, pkg.finding(call.Pos(), "globalrand",
+					fmt.Sprintf("rand.%s in deterministic-compute package %s; derive streams from internal/rng (rng.New / RNG.Split) or suppress with a reason", name, pkg.Rel)))
+			}
+			return true
+		})
+	}
+	return out
+}

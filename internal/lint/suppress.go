@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// allowMarker introduces an inline suppression:
+//
+//	//pawsvet:allow <check> -- <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a marker without one (or naming an unknown check) is
+// itself a finding, so waivers stay reviewable.
+const allowMarker = "pawsvet:allow"
+
+// suppressions is the per-package suppression table.
+type suppressions struct {
+	// byFile maps file → line → set of allowed check names. An entry at
+	// line L covers findings on L and L+1 (trailing comment or
+	// line-above placement).
+	byFile map[string]map[int]map[string]bool
+	// malformed collects findings for broken allow comments.
+	malformed []Finding
+}
+
+// collectSuppressions scans every comment of the package for allow
+// markers.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byFile: map[string]map[int]map[string]bool{}}
+	valid := checkNames()
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				// Only a comment that *starts* with the marker is a
+				// suppression; "//pawsvet:allow" quoted deeper inside a
+				// doc comment (like the examples in this package) is not.
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				f := pkg.finding(c.Pos(), "suppress", "")
+				rest := strings.TrimSpace(text[len(allowMarker):])
+				check, reason, found := strings.Cut(rest, "--")
+				check = strings.TrimSpace(check)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !found || reason == "":
+					f.Message = "allow comment missing its mandatory reason (use //pawsvet:allow <check> -- <reason>)"
+					s.malformed = append(s.malformed, f)
+					continue
+				case !valid[check]:
+					f.Message = fmt.Sprintf("allow comment names unknown check %q", check)
+					s.malformed = append(s.malformed, f)
+					continue
+				}
+				lines := s.byFile[f.File]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byFile[f.File] = lines
+				}
+				if lines[f.Line] == nil {
+					lines[f.Line] = map[string]bool{}
+				}
+				lines[f.Line][check] = true
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a finding is silenced by an allow comment on
+// its own line or the line above.
+func (s *suppressions) covers(f Finding) bool {
+	lines := s.byFile[f.File]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Line][f.Check] || lines[f.Line-1][f.Check]
+}

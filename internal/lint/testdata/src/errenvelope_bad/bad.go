@@ -1,0 +1,17 @@
+// Corpus: errenvelope must fire on http.Error and constant non-2xx
+// WriteHeader in the HTTP layers (loaded as internal/serve).
+package badenv
+
+import "net/http"
+
+func Handle(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("model") == "" {
+		http.Error(w, "missing model", http.StatusBadRequest)
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(500)
+}

@@ -1,0 +1,33 @@
+// Corpus: errenvelope must stay silent on 2xx statuses and on the
+// envelope-writer idiom, where the status is computed (loaded as
+// internal/serve).
+package goodenv
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	var env envelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+func Handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "bad_request", "GET only")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

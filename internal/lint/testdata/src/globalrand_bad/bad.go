@@ -1,0 +1,21 @@
+// Corpus: globalrand must fire on global math/rand functions and on
+// constructor calls in a deterministic-compute package (loaded as
+// internal/ml).
+package badrand
+
+import "math/rand"
+
+func Noise(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.Float64()
+	}
+	rand.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func Pick(n int) int {
+	r := rand.New(rand.NewSource(42))
+	_ = rand.Intn(n)
+	return r.Intn(n)
+}

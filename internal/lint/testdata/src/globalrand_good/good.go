@@ -1,0 +1,17 @@
+// Corpus: globalrand must stay silent on explicit *rand.Rand streams,
+// and on constructors outside deterministic-compute packages (loaded as
+// internal/load, a serving package).
+package goodrand
+
+import "math/rand"
+
+func Jitter(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(100)
+	}
+	return out
+}
+
+func Draw(r *rand.Rand) float64 { return r.Float64() }

@@ -1,0 +1,9 @@
+// Corpus: goroutine must fire on bare go statements outside the
+// sanctioned owners (loaded as internal/stats).
+package badgo
+
+func Fan(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		go f(i)
+	}
+}

@@ -1,0 +1,17 @@
+// Corpus: goroutine must stay silent inside a sanctioned concurrency
+// owner (loaded as internal/par).
+package goodgo
+
+import "sync"
+
+func Fan(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}

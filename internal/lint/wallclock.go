@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallclockFuncs are the time functions that read or depend on the
+// ambient wall clock. Calling one in a deterministic-compute package
+// makes output depend on when (or how fast) the code ran.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true, "Until": true}
+
+// checkWallclock flags calls to time.Now/Since/Sleep/Until in
+// deterministic-compute packages. Only calls are flagged: referencing
+// time.Now as a value — the injected-clock idiom, `if cfg.now == nil {
+// cfg.now = time.Now }` (env.ManagerConfig, plan.Config) — is the
+// sanctioned escape hatch and passes by construction.
+func checkWallclock(pkg *Package) []Finding {
+	if pkg.Class != ClassCompute {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgCall(pkg.Info, call); ok && path == "time" && wallclockFuncs[name] {
+				out = append(out, pkg.finding(call.Pos(), "wallclock",
+					fmt.Sprintf("call to time.%s in deterministic-compute package %s; inject a now func() time.Time hook (see env.ManagerConfig) or suppress with a reason", name, pkg.Rel)))
+			}
+			return true
+		})
+	}
+	return out
+}

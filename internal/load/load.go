@@ -26,13 +26,13 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"paws/internal/obs"
+	"paws/internal/rng"
 )
 
 // Config tunes a load run.
@@ -243,9 +243,13 @@ func discover(ctx context.Context, client *http.Client, base, want string) (mode
 	return "", 0, 0, fmt.Errorf("load: target serves no model %q (%d models)", want, len(probe.Models))
 }
 
-// buildOps pre-draws the deterministic op schedule.
+// buildOps pre-draws the deterministic op schedule. The stream comes
+// from internal/rng so the schedule derivation is the same machinery the
+// compute layers use; rng.New(seed) is stream-identical to the previous
+// rand.New(rand.NewSource(seed)), so recorded BENCH_load.json runs stay
+// byte-reproducible for the same -seed.
 func buildOps(cfg Config, cells, posts int) []op {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rng.New(cfg.Seed)
 	kinds := []string{"predict", "riskmap", "plan", "job", "env"} // fixed draw order
 	var weighted []string
 	for _, k := range kinds {
@@ -373,7 +377,7 @@ func doEnvOp(ctx context.Context, client *http.Client, base string, o op) sample
 		return s
 	}
 	cells := len(created.Obs.Effort[0])
-	erng := rand.New(rand.NewSource(o.seed))
+	erng := rng.New(o.seed)
 	for season := 0; season < envOpSeasons; season++ {
 		eff := make([]float64, cells)
 		sum := 0.0

@@ -71,6 +71,7 @@ func Solve(p *lp.Problem, intVars []int, opts Options) (Result, error) {
 	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
+		//pawsvet:allow wallclock -- TimeLimit is an explicit opt-in wall-clock budget; zero (the deterministic default) never reads the clock
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
 
@@ -118,6 +119,7 @@ func Solve(p *lp.Problem, intVars []int, opts Options) (Result, error) {
 			res.Status = lp.IterLimit
 			break
 		}
+		//pawsvet:allow wallclock -- deadline check for the opt-in TimeLimit budget; never taken when TimeLimit is unset
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Status = lp.IterLimit
 			break

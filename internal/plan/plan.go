@@ -136,6 +136,10 @@ type Config struct {
 	// CellModel must be safe for concurrent lookups when Workers ≠ 1, which
 	// the paws.PlannerModel adapter guarantees.
 	Workers int
+	// now is a test hook (the env.ManagerConfig.now convention): Solve
+	// stamps Plan.Runtime from it, so tests can pin Runtime
+	// deterministically. nil means time.Now.
+	now func() time.Time
 }
 
 // SolverKind selects how the planning problem is optimized.
@@ -191,7 +195,11 @@ func Solve(region *Region, model CellModel, cfg Config) (*Plan, error) {
 	if cfg.Beta < 0 || cfg.Beta > 1 {
 		return nil, fmt.Errorf("plan: β = %v out of [0,1]", cfg.Beta)
 	}
-	start := time.Now()
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
 
 	n := region.NumCells()
 	maxEffort := cfg.MaxEffort
@@ -243,7 +251,7 @@ func Solve(region *Region, model CellModel, cfg Config) (*Plan, error) {
 		out.Relaxed = true
 	}
 	if cfg.Solver == SolverFrankWolfe {
-		out.Runtime = time.Since(start)
+		out.Runtime = now().Sub(start)
 		return out, nil
 	}
 
@@ -255,7 +263,7 @@ func Solve(region *Region, model CellModel, cfg Config) (*Plan, error) {
 			return nil, err
 		}
 		// Auto mode: keep the Frank-Wolfe plan when the MILP path fails.
-		out.Runtime = time.Since(start)
+		out.Runtime = now().Sub(start)
 		return out, nil
 	}
 	if milpPlan != nil {
@@ -267,7 +275,7 @@ func Solve(region *Region, model CellModel, cfg Config) (*Plan, error) {
 			out.Relaxed = milpPlan.Relaxed
 		}
 	}
-	out.Runtime = time.Since(start)
+	out.Runtime = now().Sub(start)
 	return out, nil
 }
 

@@ -1,0 +1,25 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestStatuszRenderByteStable pins /statusz as byte-identical across
+// repeated renders of an unchanged server — the payload is built from
+// structs and slices, never from bare map iteration, so a routing proxy
+// diffing replica status sees real changes only.
+func TestStatuszRenderByteStable(t *testing.T) {
+	s := testServer(t, Config{ReplicaID: "r1"})
+	first := doRaw(t, s.StatuszHandler(), http.MethodGet, "/statusz")
+	if first.Code != http.StatusOK {
+		t.Fatalf("statusz: status %d", first.Code)
+	}
+	for i := 0; i < 5; i++ {
+		rec := doRaw(t, s.StatuszHandler(), http.MethodGet, "/statusz")
+		if !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, rec.Body, first.Body)
+		}
+	}
+}
